@@ -1,0 +1,75 @@
+// Command experiments regenerates the paper's tables and figures from the
+// synthetic substrates and prints them as text tables.
+//
+// Usage:
+//
+//	experiments                      # run everything at the default scale
+//	experiments -exp fig4 -runs 10   # one experiment
+//	experiments -scale 1.0           # paper-sized corpora (slow, big RAM)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"graphct/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all | "+strings.Join(experiments.Names, " | "))
+	scale := flag.Float64("scale", 0, "corpus scale (default from built-in config; 1.0 = paper size)")
+	septScale := flag.Float64("sept-scale", 0, "extra scale for the large 1-Sept corpus")
+	runs := flag.Int("runs", 0, "realizations for sampled experiments (paper: 10)")
+	seed := flag.Int64("seed", 1, "random seed")
+	rmat := flag.String("rmat", "", "comma-separated R-MAT scales for fig6, e.g. 10,12,14,16,18")
+	csvDir := flag.String("csv", "", "also write each experiment's data series as CSV into this directory")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.Out = os.Stdout
+	cfg.Seed = *seed
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *septScale > 0 {
+		cfg.SeptScale = *septScale
+	}
+	if *runs > 0 {
+		cfg.Realizations = *runs
+	}
+	if *rmat != "" {
+		var scales []int
+		for _, f := range strings.Split(*rmat, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v < 1 || v > 30 {
+				fmt.Fprintf(os.Stderr, "experiments: bad rmat scale %q\n", f)
+				os.Exit(2)
+			}
+			scales = append(scales, v)
+		}
+		cfg.RMATScales = scales
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names
+	}
+	for _, name := range names {
+		if err := experiments.Run(name, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			quiet := cfg
+			quiet.Out = nil
+			if err := experiments.WriteCSV(name, quiet, *csvDir); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: csv:", err)
+				os.Exit(2)
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command graphct runs GraphCT analysis scripts: line-oriented commands
+// over one in-memory graph, in the style of the paper's scripting
+// interface.
+//
+// Usage:
+//
+//	graphct [-seed N] SCRIPT.gct
+//	graphct [-seed N] -e 'read dimacs g.txt' -e 'print degrees'
+//
+// Script commands:
+//
+//	read dimacs FILE | read edgelist FILE | read binary FILE
+//	print diameter [PERCENT] | print degrees | print components
+//	save graph | restore graph
+//	extract component N [=> comp.bin]
+//	kcentrality K SAMPLES [=> scores.txt]
+//	kcores K
+//	clustering [=> coef.txt]
+//	stats | components | undirected | reciprocal | bfs SRC DEPTH
+//	sssp SRC [=> dist.txt]
+//	compare FILE1 FILE2 TOP_PERCENT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"graphct/internal/script"
+)
+
+type lines []string
+
+func (l *lines) String() string     { return strings.Join(*l, "; ") }
+func (l *lines) Set(s string) error { *l = append(*l, s); return nil }
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed for sampling kernels")
+	var exprs lines
+	flag.Var(&exprs, "e", "execute one script line (repeatable)")
+	flag.Parse()
+
+	in := script.New(os.Stdout, "")
+	in.SetSeed(*seed)
+
+	if len(exprs) > 0 {
+		if flag.NArg() != 0 {
+			fatal("cannot mix -e lines with a script file")
+		}
+		if err := in.Run(strings.NewReader(strings.Join(exprs, "\n"))); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: graphct [-seed N] SCRIPT | graphct -e LINE [-e LINE...]")
+		os.Exit(2)
+	}
+	if err := in.RunFile(flag.Arg(0)); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, "graphct:", v)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command tweetgen emits a synthetic Twitter stream (the Spinn3r-harvest
+// substitute) or the DIMACS mention graph built from it.
+//
+// Usage:
+//
+//	tweetgen -preset h1n1 -scale 0.25 -seed 1            # tweets to stdout
+//	tweetgen -preset atlflood -format dimacs > graph.txt # mention graph
+//	tweetgen -users 5000 -tweets 8000 -topic storm       # custom corpus
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"graphct/internal/dimacs"
+	"graphct/internal/tweets"
+)
+
+func main() {
+	preset := flag.String("preset", "", "corpus preset: h1n1, atlflood, sept1 (empty = custom)")
+	scale := flag.Float64("scale", 0.25, "preset size multiplier (1.0 = paper size)")
+	seed := flag.Int64("seed", 1, "random seed")
+	format := flag.String("format", "tweets", "output: tweets | dimacs | stats")
+	users := flag.Int("users", 1000, "custom corpus: user pool size")
+	hubs := flag.Int("hubs", 10, "custom corpus: broadcast hubs")
+	ntweets := flag.Int("tweets", 2000, "custom corpus: messages")
+	topic := flag.String("topic", "topic", "custom corpus: keyword/hashtag")
+	nospam := flag.Bool("nospam", false, "strip spam from the stream (the paper's non-spam harvests)")
+	flag.Parse()
+
+	var opt tweets.CorpusOptions
+	switch *preset {
+	case "h1n1":
+		opt = tweets.H1N1Corpus(*scale, *seed)
+	case "atlflood":
+		opt = tweets.AtlFloodCorpus(*scale, *seed)
+	case "sept1":
+		opt = tweets.Sept1Corpus(*scale, *seed)
+	case "":
+		opt = tweets.CorpusOptions{
+			Seed: *seed, Users: *users, Hubs: *hubs, Tweets: *ntweets, Topic: *topic,
+			RetweetFrac: 0.4, ConvFrac: 0.12, SelfFrac: 0.03, DeepTreeProb: 0.25,
+			ConvGroups: *users/10 + 1, ConvGroupSize: 3, WeekLo: 36, WeekHi: 39,
+		}
+	default:
+		fatal(fmt.Sprintf("unknown preset %q", *preset))
+	}
+
+	ts := tweets.Generate(opt)
+	if *nospam {
+		ts = tweets.FilterSpam(ts, 0)
+	}
+	switch *format {
+	case "tweets":
+		w := bufio.NewWriter(os.Stdout)
+		for _, t := range ts {
+			fmt.Fprintf(w, "%d\tweek%d\t@%s\t%s\n", t.ID, t.Week, t.Author, t.Text)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+	case "dimacs":
+		ug := tweets.Build(ts)
+		if err := dimacs.Write(os.Stdout, ug.Graph.Undirected()); err != nil {
+			fatal(err)
+		}
+	case "stats":
+		ug := tweets.Build(ts)
+		s := ug.Stats
+		fmt.Printf("tweets %d\nwith-mentions %d\nusers %d\nunique-interactions %d\nself-references %d\nretweets %d\n",
+			s.Tweets, s.TweetsWithMentions, s.Users, s.UniqueInteractions, s.SelfReferences, s.Retweets)
+	default:
+		fatal(fmt.Sprintf("unknown format %q", *format))
+	}
+}
+
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, "tweetgen:", v)
+	os.Exit(1)
+}

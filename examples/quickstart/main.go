@@ -1,0 +1,52 @@
+// Quickstart: load a graph, estimate its diameter, find components,
+// extract the largest, and rank its vertices by approximate betweenness
+// centrality — the canonical GraphCT workflow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphct/internal/core"
+	"graphct/internal/gen"
+)
+
+func main() {
+	// Any *graph.Graph works; here a scale-12 R-MAT graph with the
+	// paper's generator parameters stands in for a social network.
+	g := gen.RMAT(gen.PaperRMAT(12, 42))
+	fmt.Println("loaded:", g)
+
+	tk := core.New(g, core.WithSeed(42))
+
+	// GraphCT estimates the diameter at load time from 256 sampled BFS
+	// runs; traversal kernels size their queues from it.
+	d := tk.Diameter()
+	fmt.Printf("diameter estimate: %d (longest sampled path %d)\n", d.Estimate, d.LongestPath)
+
+	ds := tk.DegreeStats()
+	fmt.Printf("degrees: mean %.2f variance %.2f max %d\n", ds.Mean, ds.Variance, ds.Max)
+
+	census := tk.ComponentCensus()
+	fmt.Printf("components: %d (largest %d vertices)\n", len(census), census[0].Size)
+
+	// Work on the largest component, keeping the full graph recallable.
+	tk.Save()
+	if err := tk.ExtractComponent(1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("largest component:", tk.Graph())
+
+	// Approximate betweenness centrality from 256 sampled sources.
+	res := tk.BetweennessApprox(256)
+	fmt.Println("top 5 vertices by approximate betweenness centrality:")
+	for i, v := range res.TopK(5) {
+		fmt.Printf("%2d. vertex %6d  score %.1f\n", i+1, tk.OrigID(v), res.Scores[v])
+	}
+
+	// Back to the full graph.
+	if err := tk.Restore(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("restored:", tk.Graph())
+}

@@ -1,0 +1,38 @@
+// Massive-graph scaling demo: the paper's Figure 6 in miniature. Generates
+// R-MAT graphs with the paper's parameters (A=0.55, B=C=0.10, D=0.25, edge
+// factor 16) at growing scales and times 256-source approximate
+// betweenness centrality on each, printing the time-vs-size series. Raise
+// -maxscale toward 29 on a machine with the memory for it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"graphct/internal/bc"
+	"graphct/internal/gen"
+)
+
+func main() {
+	minScale := flag.Int("minscale", 10, "smallest R-MAT scale")
+	maxScale := flag.Int("maxscale", 14, "largest R-MAT scale")
+	sources := flag.Int("sources", 256, "sampled BC sources (paper: 256)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	fmt.Printf("%8s %10s %12s %14s %12s %14s\n", "scale", "vertices", "edges", "V*E", "gen", "bc-256")
+	for scale := *minScale; scale <= *maxScale; scale++ {
+		start := time.Now()
+		graph := gen.RMAT(gen.PaperRMAT(scale, *seed))
+		genTime := time.Since(start)
+
+		start = time.Now()
+		bc.Approx(graph, *sources, *seed)
+		bcTime := time.Since(start)
+
+		ve := float64(graph.NumVertices()) * float64(graph.NumEdges())
+		fmt.Printf("%8d %10d %12d %14.3e %12v %14v\n",
+			scale, graph.NumVertices(), graph.NumEdges(), ve, genTime.Round(time.Millisecond), bcTime.Round(time.Millisecond))
+	}
+}

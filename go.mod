@@ -1,0 +1,3 @@
+module graphct
+
+go 1.22

@@ -1,0 +1,184 @@
+package bc
+
+import (
+	"sync/atomic"
+
+	"graphct/internal/graph"
+	"graphct/internal/par"
+)
+
+// workspace holds the per-source O(m+n) arrays. Workspaces are pooled so
+// concurrent sources bound total memory at O(S·(m+n)) for S in-flight
+// sources, matching the paper's memory model. Arrays are kept clean between
+// runs by resetting only the vertices the previous search touched.
+type workspace struct {
+	n, k       int
+	dist       []int32
+	sigma      []float64 // path counts; stride k+1 per vertex when k > 0
+	delta      []float64 // dependencies; same shape as sigma
+	sigTot     []float64 // per-vertex total short-path count (k > 0 only)
+	order      []int32   // visitation order of the last search
+	levelStart []int     // offsets into order where each BFS level begins
+}
+
+func newWorkspace(n, k int) *workspace {
+	ws := &workspace{
+		n:      n,
+		k:      k,
+		dist:   make([]int32, n),
+		sigma:  make([]float64, n*(k+1)),
+		delta:  make([]float64, n*(k+1)),
+		sigTot: make([]float64, n),
+		order:  make([]int32, 0, n),
+	}
+	for i := range ws.dist {
+		ws.dist[i] = -1
+	}
+	return ws
+}
+
+// reset clears the entries touched by the last search.
+func (ws *workspace) reset() {
+	stride := ws.k + 1
+	for _, v := range ws.order {
+		ws.dist[v] = -1
+		base := int(v) * stride
+		for j := 0; j < stride; j++ {
+			ws.sigma[base+j] = 0
+			ws.delta[base+j] = 0
+		}
+		if ws.sigTot != nil {
+			ws.sigTot[v] = 0
+		}
+	}
+	ws.order = ws.order[:0]
+	ws.levelStart = ws.levelStart[:0]
+}
+
+// brandesSource accumulates one source's dependency contributions into
+// scores (float64 bit patterns, added atomically, scaled by scale).
+func brandesSource(g *graph.Graph, s int32, ws *workspace, scores []uint64, scale float64, fine bool) {
+	defer ws.reset()
+	if fine {
+		brandesSourceFine(g, s, ws, scores, scale)
+		return
+	}
+	dist, sigma, delta := ws.dist, ws.sigma, ws.delta
+	dist[s] = 0
+	sigma[s] = 1
+	ws.order = append(ws.order, s)
+	frontier := ws.order[0:1]
+	for len(frontier) > 0 {
+		frontierEnd := len(ws.order)
+		for _, u := range frontier {
+			du := dist[u]
+			su := sigma[u]
+			for _, v := range g.Neighbors(u) {
+				if dist[v] == -1 {
+					dist[v] = du + 1
+					ws.order = append(ws.order, v)
+				}
+				if dist[v] == du+1 {
+					sigma[v] += su
+				}
+			}
+		}
+		frontier = ws.order[frontierEnd:]
+	}
+	// Dependency accumulation in reverse visitation order; within a level
+	// the order is immaterial because predecessors sit strictly shallower.
+	for i := len(ws.order) - 1; i > 0; i-- {
+		w := ws.order[i]
+		coef := (1 + delta[w]) / sigma[w]
+		dw := dist[w]
+		for _, v := range g.Neighbors(w) {
+			if dist[v] == dw-1 {
+				delta[v] += sigma[v] * coef
+			}
+		}
+		par.AddFloat64(&scores[w], scale*delta[w])
+	}
+}
+
+// brandesSourceFine is the fine-grained variant: each level's sigma and
+// delta sweeps run as parallel pull-style loops (no atomics needed because
+// each vertex writes only its own entry). It exists for the parallelism
+// ablation; coarse source-level parallelism usually wins when many sources
+// are in flight.
+func brandesSourceFine(g *graph.Graph, s int32, ws *workspace, scores []uint64, scale float64) {
+	dist, sigma, delta := ws.dist, ws.sigma, ws.delta
+	dist[s] = 0
+	sigma[s] = 1
+	ws.order = append(ws.order, s)
+	ws.levelStart = append(ws.levelStart, 0)
+	frontier := ws.order[0:1]
+	for len(frontier) > 0 {
+		frontierEnd := len(ws.order)
+		// Discovery: parallel claim of next level.
+		next := discoverLevel(g, frontier, dist)
+		ws.order = append(ws.order, next...)
+		if len(next) == 0 {
+			break
+		}
+		ws.levelStart = append(ws.levelStart, frontierEnd)
+		// Sigma: pull from predecessors, parallel and race-free.
+		par.For(len(next), func(i int) {
+			v := next[i]
+			dv := dist[v]
+			var sv float64
+			for _, u := range g.Neighbors(v) {
+				if dist[u] == dv-1 {
+					sv += sigma[u]
+				}
+			}
+			sigma[v] = sv
+		})
+		frontier = ws.order[frontierEnd:]
+	}
+	// Delta: pull from successors level by level, deepest first.
+	for li := len(ws.levelStart) - 1; li >= 0; li-- {
+		lo := ws.levelStart[li]
+		hi := len(ws.order)
+		if li+1 < len(ws.levelStart) {
+			hi = ws.levelStart[li+1]
+		}
+		lvl := ws.order[lo:hi]
+		par.For(len(lvl), func(i int) {
+			v := lvl[i]
+			dv := dist[v]
+			var dsum float64
+			for _, w := range g.Neighbors(v) {
+				if dist[w] == dv+1 {
+					dsum += sigma[v] / sigma[w] * (1 + delta[w])
+				}
+			}
+			delta[v] = dsum
+			if v != s {
+				par.AddFloat64(&scores[v], scale*dsum)
+			}
+		})
+	}
+}
+
+func discoverLevel(g *graph.Graph, frontier []int32, dist []int32) []int32 {
+	workers := par.Workers()
+	buffers := make([][]int32, workers)
+	par.ForEachWorker(func(w, workers int) {
+		var buf []int32
+		for i := w; i < len(frontier); i += workers {
+			u := frontier[i]
+			du := dist[u]
+			for _, v := range g.Neighbors(u) {
+				if atomic.LoadInt32(&dist[v]) == -1 && par.CASInt32(&dist[v], -1, du+1) {
+					buf = append(buf, v)
+				}
+			}
+		}
+		buffers[w] = buf
+	})
+	var next []int32
+	for _, b := range buffers {
+		next = append(next, b...)
+	}
+	return next
+}

@@ -1,0 +1,109 @@
+package bc
+
+import (
+	"math"
+	"testing"
+
+	"graphct/internal/gen"
+)
+
+func TestConfidenceFullSamplingIsExact(t *testing.T) {
+	// With every vertex sampled there is no sampling noise: std must be
+	// ~0 everywhere, the top-k sets identical, and the mean exact.
+	g := gen.PreferentialAttachment(150, 2, 3)
+	exact := Exact(g).Scores
+	c := EstimateWithConfidence(g, Options{Samples: 0}, 3, 10)
+	for v := range exact {
+		if !approxEq(c.Mean[v], exact[v]) {
+			t.Fatalf("mean differs at %d: %v vs %v", v, c.Mean[v], exact[v])
+		}
+		if c.Std[v] > 1e-9 {
+			t.Fatalf("std at %d = %v, want 0", v, c.Std[v])
+		}
+	}
+	if c.TopKJaccard != 1 {
+		t.Fatalf("jaccard = %v, want 1", c.TopKJaccard)
+	}
+	if len(c.TopKStable) != 10 {
+		t.Fatalf("stable set = %v", c.TopKStable)
+	}
+	if cv := c.CoefficientOfVariation(10); cv > 1e-9 {
+		t.Fatalf("cv = %v, want 0", cv)
+	}
+}
+
+func TestConfidenceSampledHasVariance(t *testing.T) {
+	g := gen.PreferentialAttachment(300, 2, 5)
+	c := EstimateWithConfidence(g, Options{Samples: 30, Seed: 1}, 5, 10)
+	if c.Realizations != 5 {
+		t.Fatalf("realizations = %d", c.Realizations)
+	}
+	var anyStd bool
+	for _, s := range c.Std {
+		if math.IsNaN(s) || s < 0 {
+			t.Fatalf("bad std %v", s)
+		}
+		if s > 0 {
+			anyStd = true
+		}
+	}
+	if !anyStd {
+		t.Fatal("10% sampling showed zero variance everywhere")
+	}
+	if c.TopKJaccard <= 0 || c.TopKJaccard > 1 {
+		t.Fatalf("jaccard = %v", c.TopKJaccard)
+	}
+	if len(c.TopKStable) > 10 {
+		t.Fatalf("stable set too large: %v", c.TopKStable)
+	}
+	if cv := c.CoefficientOfVariation(10); cv <= 0 {
+		t.Fatalf("cv = %v, want > 0 under sampling", cv)
+	}
+}
+
+func TestConfidenceMoreSamplesTightens(t *testing.T) {
+	g := gen.PreferentialAttachment(300, 3, 7)
+	loose := EstimateWithConfidence(g, Options{Samples: 15, Seed: 2}, 6, 15)
+	tight := EstimateWithConfidence(g, Options{Samples: 150, Seed: 2}, 6, 15)
+	if tight.CoefficientOfVariation(15) >= loose.CoefficientOfVariation(15) {
+		t.Fatalf("cv did not tighten: %v vs %v",
+			tight.CoefficientOfVariation(15), loose.CoefficientOfVariation(15))
+	}
+	if tight.TopKJaccard < loose.TopKJaccard-0.05 {
+		t.Fatalf("ranking stability fell with more samples: %v vs %v",
+			tight.TopKJaccard, loose.TopKJaccard)
+	}
+}
+
+func TestConfidenceRealizationFloor(t *testing.T) {
+	g := gen.Ring(20)
+	c := EstimateWithConfidence(g, Options{Samples: 5}, 0, 5)
+	if c.Realizations != 2 {
+		t.Fatalf("realizations = %d, want floor 2", c.Realizations)
+	}
+}
+
+func TestJaccardHelpers(t *testing.T) {
+	if j := jaccard([]int32{1, 2}, []int32{2, 3}); !approxEq(j, 1.0/3) {
+		t.Fatalf("jaccard = %v", j)
+	}
+	if jaccard(nil, nil) != 1 {
+		t.Fatal("empty jaccard != 1")
+	}
+	if got := intersectAll([][]int32{{1, 2, 3}, {2, 3, 4}, {3, 2}}); len(got) != 2 || got[0] != 2 {
+		t.Fatalf("intersectAll = %v", got)
+	}
+	if intersectAll(nil) != nil {
+		t.Fatal("empty intersectAll")
+	}
+	if meanPairwiseJaccard([][]int32{{1}}) != 1 {
+		t.Fatal("single-set jaccard != 1")
+	}
+}
+
+func TestCoefficientOfVariationDegenerate(t *testing.T) {
+	c := &ConfidenceResult{Mean: []float64{0, 0}, Std: []float64{1, 1}}
+	if cv := c.CoefficientOfVariation(2); cv != 0 {
+		t.Fatalf("all-zero-mean cv = %v", cv)
+	}
+}

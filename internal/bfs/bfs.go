@@ -1,0 +1,150 @@
+// Package bfs implements GraphCT's level-synchronous parallel breadth-first
+// search. Within each level the frontier is expanded by all workers, with
+// unvisited vertices claimed exactly once by an atomic compare-and-swap on
+// their level — the fine-grained parallelism the paper exposes inside every
+// traversal-based kernel.
+package bfs
+
+import (
+	"sync/atomic"
+
+	"graphct/internal/par"
+)
+
+// Unreached marks vertices a search never visited.
+const Unreached = int32(-1)
+
+// CSRGraph is the read-only view the traversal needs; *graph.Graph
+// satisfies it.
+type CSRGraph interface {
+	NumVertices() int
+	Neighbors(v int32) []int32
+}
+
+// Result holds the output of one breadth-first search.
+type Result struct {
+	Source int32
+	Level  []int32 // Level[v] = hops from Source, or Unreached
+	Parent []int32 // Parent[v] = BFS-tree parent, Source's parent is itself
+	Depth  int     // deepest level reached (eccentricity within the component)
+	Order  []int32 // vertices in visitation (level) order
+}
+
+// Reached reports whether v was visited.
+func (r *Result) Reached(v int32) bool { return r.Level[v] != Unreached }
+
+// NumReached returns the number of visited vertices (the component size for
+// an unbounded search of an undirected graph).
+func (r *Result) NumReached() int { return len(r.Order) }
+
+// Search runs a full breadth-first search from src.
+func Search(g CSRGraph, src int32) *Result {
+	return SearchBounded(g, src, -1)
+}
+
+// SearchBounded runs a breadth-first search from src exploring at most
+// maxDepth levels (maxDepth < 0 means unbounded). This is GraphCT's "mark a
+// breadth-first search from a given vertex of a given length" kernel.
+func SearchBounded(g CSRGraph, src int32, maxDepth int) *Result {
+	n := g.NumVertices()
+	r := &Result{
+		Source: src,
+		Level:  make([]int32, n),
+		Parent: make([]int32, n),
+	}
+	for i := range r.Level {
+		r.Level[i] = Unreached
+		r.Parent[i] = Unreached
+	}
+	if n == 0 || src < 0 || int(src) >= n {
+		return r
+	}
+	r.Level[src] = 0
+	r.Parent[src] = src
+	frontier := []int32{src}
+	r.Order = append(r.Order, src)
+	depth := int32(0)
+	for len(frontier) > 0 {
+		if maxDepth >= 0 && int(depth) >= maxDepth {
+			break
+		}
+		next := expand(g, frontier, r.Level, r.Parent, depth+1)
+		if len(next) == 0 {
+			break
+		}
+		depth++
+		r.Order = append(r.Order, next...)
+		frontier = next
+	}
+	r.Depth = int(depth)
+	return r
+}
+
+// expand visits the neighbors of every frontier vertex, claiming unvisited
+// vertices with CAS. Workers accumulate into private buffers that are
+// concatenated afterwards, avoiding a shared queue on the hot path.
+func expand(g CSRGraph, frontier []int32, level, parent []int32, d int32) []int32 {
+	workers := par.Workers()
+	buffers := make([][]int32, workers)
+	var cursor atomic.Int64
+	const chunk = 64
+	par.ForEachWorker(func(w, _ int) {
+		var buf []int32
+		for {
+			lo := int(cursor.Add(chunk)) - chunk
+			if lo >= len(frontier) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			for _, u := range frontier[lo:hi] {
+				for _, v := range g.Neighbors(u) {
+					if atomic.LoadInt32(&level[v]) != Unreached {
+						continue
+					}
+					if par.CASInt32(&level[v], Unreached, d) {
+						atomic.StoreInt32(&parent[v], u)
+						buf = append(buf, v)
+					}
+				}
+			}
+		}
+		buffers[w] = buf
+	})
+	total := 0
+	for _, b := range buffers {
+		total += len(b)
+	}
+	next := make([]int32, 0, total)
+	for _, b := range buffers {
+		next = append(next, b...)
+	}
+	return next
+}
+
+// Eccentricity returns the depth of a full BFS from src: the longest
+// shortest-path distance to any reachable vertex.
+func Eccentricity(g CSRGraph, src int32) int {
+	return Search(g, src).Depth
+}
+
+// PathTo reconstructs a shortest path from the search source to v using the
+// parent pointers, or nil if v was not reached.
+func (r *Result) PathTo(v int32) []int32 {
+	if v < 0 || int(v) >= len(r.Level) || !r.Reached(v) {
+		return nil
+	}
+	var rev []int32
+	for u := v; ; u = r.Parent[u] {
+		rev = append(rev, u)
+		if u == r.Source {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

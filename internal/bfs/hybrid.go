@@ -1,0 +1,122 @@
+package bfs
+
+import (
+	"sync/atomic"
+
+	"graphct/internal/par"
+)
+
+// Degreer is the extra capability hybrid search needs from a graph.
+type Degreer interface {
+	CSRGraph
+	Degree(v int32) int
+	NumArcs() int64
+	Directed() bool
+}
+
+// Beamer-style direction-optimizing switch thresholds: go bottom-up when
+// the frontier's out-edges exceed remaining-edges/alpha, return top-down
+// when the frontier shrinks below vertices/beta.
+const (
+	hybridAlpha = 14
+	hybridBeta  = 24
+)
+
+// HybridSearch runs a direction-optimizing BFS on an undirected graph:
+// top-down frontier expansion while the frontier is small, switching to a
+// bottom-up sweep (every unvisited vertex scans its neighbors for a
+// visited parent) when the frontier covers a large share of the edges —
+// the regime scale-free graphs enter after two or three levels. Directed
+// graphs fall back to the standard search, whose results it matches
+// exactly except for Parent ties and visitation order within a level.
+func HybridSearch(g Degreer, src int32) *Result {
+	if g.Directed() {
+		return Search(g, src)
+	}
+	n := g.NumVertices()
+	r := &Result{Source: src, Level: make([]int32, n), Parent: make([]int32, n)}
+	for i := range r.Level {
+		r.Level[i] = Unreached
+		r.Parent[i] = Unreached
+	}
+	if n == 0 || src < 0 || int(src) >= n {
+		return r
+	}
+	r.Level[src] = 0
+	r.Parent[src] = src
+	r.Order = append(r.Order, src)
+	frontier := []int32{src}
+	depth := int32(0)
+	remainingEdges := g.NumArcs()
+	for len(frontier) > 0 {
+		frontierEdges := int64(0)
+		for _, u := range frontier {
+			frontierEdges += int64(g.Degree(u))
+		}
+		remainingEdges -= frontierEdges
+		var next []int32
+		if frontierEdges > remainingEdges/hybridAlpha && int64(len(frontier)) > int64(n)/hybridBeta {
+			next = bottomUpStep(g, r.Level, r.Parent, depth+1)
+		} else {
+			next = expand(g, frontier, r.Level, r.Parent, depth+1)
+		}
+		if len(next) == 0 {
+			break
+		}
+		depth++
+		r.Order = append(r.Order, next...)
+		frontier = next
+	}
+	r.Depth = int(depth)
+	return r
+}
+
+// bottomUpStep claims every unvisited vertex adjacent to the previous
+// level. Each vertex writes only its own entries, so the parallel loop is
+// race-free without CAS.
+func bottomUpStep(g Degreer, level, parent []int32, d int32) []int32 {
+	n := g.NumVertices()
+	workers := par.Workers()
+	buffers := make([][]int32, workers)
+	var cursor atomic.Int64
+	const chunk = 4096
+	par.ForEachWorker(func(w, _ int) {
+		var buf []int32
+		for {
+			lo := int(cursor.Add(chunk)) - chunk
+			if lo >= n {
+				break
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			for v := int32(lo); v < int32(hi); v++ {
+				if atomic.LoadInt32(&level[v]) != Unreached {
+					continue
+				}
+				for _, u := range g.Neighbors(v) {
+					// u may be claimed concurrently in this same step
+					// (then its level is d, not d-1), so the read must
+					// be atomic even though v's entries are worker-owned.
+					if atomic.LoadInt32(&level[u]) == d-1 {
+						atomic.StoreInt32(&level[v], d)
+						parent[v] = u
+						buf = append(buf, v)
+						break
+					}
+				}
+			}
+		}
+		buffers[w] = buf
+	})
+	total := 0
+	for _, b := range buffers {
+		total += len(b)
+	}
+	next := make([]int32, 0, total)
+	for _, b := range buffers {
+		next = append(next, b...)
+	}
+	return next
+}

@@ -1,0 +1,96 @@
+package bfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graphct/internal/gen"
+	"graphct/internal/graph"
+)
+
+func TestHybridMatchesStandardLevels(t *testing.T) {
+	f := func(seed int64, srcRaw uint8) bool {
+		g := gen.RMAT(gen.PaperRMAT(9, seed))
+		src := int32(srcRaw) % int32(g.NumVertices())
+		a := Search(g, src)
+		b := HybridSearch(g, src)
+		if a.Depth != b.Depth || a.NumReached() != b.NumReached() {
+			return false
+		}
+		for v := range a.Level {
+			if a.Level[v] != b.Level[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridParentsConsistent(t *testing.T) {
+	g := gen.RMAT(gen.PaperRMAT(10, 3))
+	r := HybridSearch(g, 0)
+	for v := 0; v < g.NumVertices(); v++ {
+		if !r.Reached(int32(v)) || int32(v) == r.Source {
+			continue
+		}
+		p := r.Parent[v]
+		if p == Unreached || r.Level[p] != r.Level[v]-1 || !g.HasEdge(p, int32(v)) {
+			t.Fatalf("bad parent at %d: p=%d", v, p)
+		}
+	}
+}
+
+func TestHybridDenseGraphTriggersBottomUp(t *testing.T) {
+	// A complete graph reaches everything at depth 1 with a huge
+	// frontier-edge count, exercising the bottom-up branch.
+	g := gen.Complete(200)
+	r := HybridSearch(g, 7)
+	if r.Depth != 1 || r.NumReached() != 200 {
+		t.Fatalf("K200 search: depth=%d reached=%d", r.Depth, r.NumReached())
+	}
+}
+
+func TestHybridPathStaysTopDown(t *testing.T) {
+	g := gen.Path(1000)
+	r := HybridSearch(g, 0)
+	if r.Depth != 999 || r.NumReached() != 1000 {
+		t.Fatalf("path search: depth=%d reached=%d", r.Depth, r.NumReached())
+	}
+}
+
+func TestHybridDirectedFallsBack(t *testing.T) {
+	d, _ := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}, graph.Options{Directed: true})
+	r := HybridSearch(d, 0)
+	if r.NumReached() != 3 || r.Depth != 2 {
+		t.Fatalf("directed fallback: %+v", r)
+	}
+}
+
+func TestHybridEdgeCases(t *testing.T) {
+	if HybridSearch(graph.Empty(0, false), 0).NumReached() != 0 {
+		t.Fatal("empty graph")
+	}
+	if HybridSearch(gen.Path(3), -1).NumReached() != 0 {
+		t.Fatal("negative source")
+	}
+	if HybridSearch(gen.Path(3), 99).NumReached() != 0 {
+		t.Fatal("out-of-range source")
+	}
+}
+
+func BenchmarkHybridVsStandard(b *testing.B) {
+	g := gen.RMAT(gen.PaperRMAT(15, 1))
+	b.Run("standard", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Search(g, int32(i%g.NumVertices()))
+		}
+	})
+	b.Run("hybrid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			HybridSearch(g, int32(i%g.NumVertices()))
+		}
+	})
+}

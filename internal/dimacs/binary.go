@@ -1,0 +1,182 @@
+package dimacs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"graphct/internal/graph"
+)
+
+// Binary CSR format ("save graph ... comp1.bin" in the paper's script):
+//
+//	magic   [4]byte "GCTB"
+//	version uint32  (1)
+//	flags   uint32  (bit0 directed, bit1 weighted)
+//	n       int64   vertices
+//	arcs    int64   stored arcs
+//	rowPtr  [n+1]int64
+//	adj     [arcs]int32
+//	weights [arcs]int32 (when bit1 set)
+//
+// All fields little-endian.
+
+var binaryMagic = [4]byte{'G', 'C', 'T', 'B'}
+
+const binaryVersion = 1
+
+// WriteBinary serializes g to w in the binary CSR format.
+func WriteBinary(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var flags uint32
+	if g.Directed() {
+		flags |= 1
+	}
+	if g.Weighted() {
+		flags |= 2
+	}
+	for _, v := range []uint32{binaryVersion, flags} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(g.NumVertices())); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.NumArcs()); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.RowPtr()); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.AdjArray()); err != nil {
+		return err
+	}
+	if g.Weighted() {
+		if err := binary.Write(bw, binary.LittleEndian, g.WeightArray()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary, validating the
+// CSR invariants before returning it.
+func ReadBinary(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("dimacs: binary header: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("dimacs: bad magic %q", magic[:])
+	}
+	var version, flags uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("dimacs: unsupported binary version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
+		return nil, err
+	}
+	var n, arcs int64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &arcs); err != nil {
+		return nil, err
+	}
+	if n < 0 || arcs < 0 {
+		return nil, fmt.Errorf("dimacs: negative sizes n=%d arcs=%d", n, arcs)
+	}
+	const maxReasonable = int64(1) << 40
+	if n > maxReasonable || arcs > maxReasonable {
+		return nil, fmt.Errorf("dimacs: implausible sizes n=%d arcs=%d", n, arcs)
+	}
+	// Arrays are read in bounded chunks so a corrupt header claiming a
+	// huge graph fails at the first truncated read instead of attempting
+	// one enormous allocation.
+	rowPtr, err := readInt64s(br, n+1)
+	if err != nil {
+		return nil, fmt.Errorf("dimacs: rowPtr: %w", err)
+	}
+	adj, err := readInt32s(br, arcs)
+	if err != nil {
+		return nil, fmt.Errorf("dimacs: adjacency: %w", err)
+	}
+	var weights []int32
+	if flags&2 != 0 {
+		weights, err = readInt32s(br, arcs)
+		if err != nil {
+			return nil, fmt.Errorf("dimacs: weights: %w", err)
+		}
+	}
+	return graph.FromCSR(rowPtr, adj, weights, flags&1 != 0)
+}
+
+const readChunk = 1 << 18 // elements per chunked read
+
+func readInt64s(r io.Reader, n int64) ([]int64, error) {
+	out := make([]int64, 0, min64(n, readChunk))
+	for remaining := n; remaining > 0; {
+		c := min64(remaining, readChunk)
+		buf := make([]int64, c)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+		remaining -= c
+	}
+	return out, nil
+}
+
+func readInt32s(r io.Reader, n int64) ([]int32, error) {
+	out := make([]int32, 0, min64(n, readChunk))
+	for remaining := n; remaining > 0; {
+		c := min64(remaining, readChunk)
+		buf := make([]int32, c)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+		remaining -= c
+	}
+	return out, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SaveBinary writes g to the named file.
+func SaveBinary(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBinary reads a graph from the named file.
+func LoadBinary(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}

@@ -1,0 +1,65 @@
+package dimacs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseBytes hardens the DIMACS parser: arbitrary input must either
+// parse into a graph passing Validate or return an error — never panic.
+func FuzzParseBytes(f *testing.F) {
+	f.Add([]byte(sample))
+	f.Add([]byte("p edge 2 1\ne 1 2 1"))
+	f.Add([]byte("c only a comment"))
+	f.Add([]byte("p sp 3 2\na 1 2 9\na 3 1 0\n"))
+	f.Add([]byte("p edge 0 0\n"))
+	f.Add([]byte("e 1 2 1\np edge 2 1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, opt := range []ParseOptions{{MaxVertices: 1 << 20}, {Directed: true, MaxVertices: 1 << 20}, {KeepWeights: true, MaxVertices: 1 << 20}} {
+			g, err := ParseBytes(data, opt)
+			if err != nil {
+				continue
+			}
+			if verr := g.Validate(); verr != nil {
+				t.Fatalf("accepted graph fails validation: %v (input %q)", verr, data)
+			}
+		}
+	})
+}
+
+// FuzzParseEdgeListBytes does the same for the SNAP edge-list parser.
+func FuzzParseEdgeListBytes(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n"))
+	f.Add([]byte("# comment\n5 5\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("0 1 extra columns ignored?"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ParseEdgeListBytes(data, EdgeListOptions{MaxVertices: 1 << 20})
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted graph fails validation: %v (input %q)", verr, data)
+		}
+	})
+}
+
+// FuzzReadBinary hardens the binary loader against corrupt files.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	g, _ := ParseBytes([]byte(sample), ParseOptions{KeepWeights: true})
+	_ = WriteBinary(&buf, g)
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("GCTB"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted binary fails validation: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteCSV runs the named experiment and writes its data series as CSV
+// into dir (one file per experiment, named <experiment>.csv), so the
+// paper's figures can be re-plotted from machine-readable output.
+func WriteCSV(name string, cfg Config, dir string) error {
+	rows, header, err := tabulate(name, cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// tabulate converts one experiment's typed rows into CSV records.
+func tabulate(name string, cfg Config) (rows [][]string, header []string, err error) {
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	fi := func(v int) string { return strconv.Itoa(v) }
+	f64 := func(v int64) string { return strconv.FormatInt(v, 10) }
+	switch name {
+	case "table2":
+		header = []string{"week", "paper_articles", "model_articles"}
+		for _, r := range Table2(cfg) {
+			rows = append(rows, []string{fi(r.Week), fi(r.Paper), fi(r.Modeled)})
+		}
+	case "table3":
+		header = []string{"dataset", "users", "users_lwcc", "interactions", "interactions_lwcc", "tweets_with_responses"}
+		for _, r := range Table3(cfg) {
+			rows = append(rows, []string{r.Name, fi(r.Users), fi(r.UsersLWCC),
+				f64(r.UniqueInteractions), f64(r.UniqueInteractionsLWCC), fi(r.TweetsWithResponses)})
+		}
+	case "table4":
+		header = []string{"dataset", "rank", "handle", "score"}
+		res := Table4(cfg)
+		for _, r := range res.H1N1 {
+			rows = append(rows, []string{"h1n1", fi(r.Rank), r.Handle, ff(r.Score)})
+		}
+		for _, r := range res.AtlFlood {
+			rows = append(rows, []string{"atlflood", fi(r.Rank), r.Handle, ff(r.Score)})
+		}
+	case "fig2":
+		header = []string{"dataset", "degree_lo", "degree_hi", "vertices", "alpha", "top20_share"}
+		for _, s := range Fig2(cfg) {
+			for _, b := range s.Bins {
+				if b.Count == 0 {
+					continue
+				}
+				rows = append(rows, []string{s.Name, fi(b.Lo), fi(b.Hi), f64(b.Count), ff(s.Alpha), ff(s.Top20)})
+			}
+		}
+	case "fig3":
+		header = []string{"dataset", "original", "largest_component", "subcommunity", "subcommunity_edges"}
+		for _, r := range Fig3(cfg) {
+			rows = append(rows, []string{r.Name, fi(r.Original), fi(r.LargestComponent),
+				fi(r.Subcommunity), f64(r.SubcommunityEdges)})
+		}
+	case "fig4":
+		header = []string{"dataset", "vertices", "edges", "sampling_fraction", "sources", "mean_seconds"}
+		for _, s := range Fig4(cfg) {
+			for _, c := range s.Cells {
+				rows = append(rows, []string{s.Name, fi(s.Vertices), f64(s.Edges),
+					ff(c.Fraction), fi(c.Sources), ff(c.Mean.Seconds())})
+			}
+		}
+	case "fig5":
+		header = []string{"dataset", "sampling_fraction", "top_fraction", "overlap"}
+		for _, s := range Fig5(cfg) {
+			for _, c := range s.Cells {
+				rows = append(rows, []string{s.Name, ff(c.Fraction), ff(c.TopFrac), ff(c.Overlap)})
+			}
+		}
+	case "fig6":
+		header = []string{"graph", "vertices", "edges", "size_ve", "seconds"}
+		for _, p := range Fig6(cfg) {
+			rows = append(rows, []string{p.Name, fi(p.Vertices), f64(p.Edges),
+				ff(p.SizeVE), ff(p.Elapsed.Seconds())})
+		}
+	case "sampling":
+		header = []string{"strategy", "top1", "top5", "top10", "coverage"}
+		for _, r := range SamplingStrategies(cfg) {
+			rows = append(rows, []string{r.Strategy, ff(r.Top1), ff(r.Top5), ff(r.Top10), ff(r.Covered)})
+		}
+	case "robustness":
+		header = []string{"k", "edge_drop", "top10_overlap", "spearman", "components"}
+		for _, r := range KBCRobustness(cfg) {
+			rows = append(rows, []string{fi(r.K), ff(r.EdgeDrop), ff(r.Top10), ff(r.Spearman), fi(r.Components)})
+		}
+	case "diameter":
+		header = []string{"sources", "longest", "estimate", "exact"}
+		for _, r := range DiameterQuality(cfg) {
+			rows = append(rows, []string{fi(r.Sources), fi(r.Longest), fi(r.Estimate), fi(r.Exact)})
+		}
+	case "temporal":
+		header = []string{"week", "tweets", "users", "interactions", "lwcc_share", "turnover"}
+		for _, r := range Temporal(cfg) {
+			rows = append(rows, []string{fi(r.Week), fi(r.Tweets), fi(r.Users),
+				f64(r.Interactions), ff(r.LWCCShare), ff(r.Turnover)})
+		}
+	case "confidence":
+		header = []string{"sampling_fraction", "topk_jaccard", "top_cv", "stable_top"}
+		for _, r := range Confidence(cfg) {
+			rows = append(rows, []string{ff(r.Fraction), ff(r.TopKJaccard), ff(r.TopCV), fi(r.StableTop)})
+		}
+	default:
+		return nil, nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names)
+	}
+	return rows, header, nil
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func readCSV(t *testing.T, path string) [][]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestWriteCSVAllExperiments(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tiny()
+	cfg.Realizations = 1
+	cfg.RMATScales = []int{7}
+	for _, name := range Names {
+		if err := WriteCSV(name, cfg, dir); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rows := readCSV(t, filepath.Join(dir, name+".csv"))
+		if len(rows) < 2 {
+			t.Fatalf("%s: no data rows", name)
+		}
+		width := len(rows[0])
+		for i, row := range rows {
+			if len(row) != width {
+				t.Fatalf("%s row %d: ragged csv", name, i)
+			}
+		}
+	}
+}
+
+func TestWriteCSVFig4Parsable(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tiny()
+	cfg.Realizations = 1
+	if err := WriteCSV("fig4", cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, filepath.Join(dir, "fig4.csv"))
+	// 3 datasets x 4 sampling levels + header.
+	if len(rows) != 1+3*4 {
+		t.Fatalf("fig4 rows = %d", len(rows))
+	}
+	for _, row := range rows[1:] {
+		if _, err := strconv.ParseFloat(row[5], 64); err != nil {
+			t.Fatalf("unparsable seconds %q", row[5])
+		}
+		frac, err := strconv.ParseFloat(row[3], 64)
+		if err != nil || frac < 0.1 || frac > 1 {
+			t.Fatalf("bad fraction %q", row[3])
+		}
+	}
+}
+
+func TestWriteCSVUnknownExperiment(t *testing.T) {
+	if err := WriteCSV("nope", tiny(), t.TempDir()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestWriteCSVBadDir(t *testing.T) {
+	cfg := tiny()
+	cfg.Realizations = 1
+	// A file where the directory should be.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocked")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV("table2", cfg, blocker); err == nil {
+		t.Fatal("writing into a file-as-dir should error")
+	}
+}

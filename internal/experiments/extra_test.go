@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSamplingStrategiesCoverage(t *testing.T) {
+	cfg := tiny()
+	rows := SamplingStrategies(cfg)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]SamplingRow{}
+	for _, r := range rows {
+		if r.Top1 < 0 || r.Top1 > 1 || r.Covered < 0 || r.Covered > 1 {
+			t.Fatalf("out of range: %+v", r)
+		}
+		byName[r.Strategy] = r
+	}
+	// Stratified sampling guarantees a source in every component big
+	// enough to earn one, so its vertex-weighted coverage cannot fall
+	// meaningfully below uniform's.
+	if byName["stratified"].Covered+0.05 < byName["uniform"].Covered {
+		t.Fatalf("stratified coverage %v below uniform %v",
+			byName["stratified"].Covered, byName["uniform"].Covered)
+	}
+	// The LWCC alone guarantees substantial vertex-weighted coverage.
+	if byName["stratified"].Covered < 0.3 {
+		t.Fatalf("stratified coverage %v suspiciously low", byName["stratified"].Covered)
+	}
+}
+
+func TestKBCRobustnessShape(t *testing.T) {
+	cfg := tiny()
+	cfg.Realizations = 2
+	rows := KBCRobustness(cfg)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Top10 < 0 || r.Top10 > 1 {
+			t.Fatalf("overlap out of range: %+v", r)
+		}
+		if r.Spearman < -1 || r.Spearman > 1 {
+			t.Fatalf("spearman out of range: %+v", r)
+		}
+		// A 5% edge drop must not destroy the ranking.
+		if r.Top10 < 0.4 {
+			t.Fatalf("ranking collapsed: %+v", r)
+		}
+	}
+}
+
+func TestDiameterQualityBounds(t *testing.T) {
+	rows := DiameterQuality(tiny())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Longest > r.Exact {
+			t.Fatalf("sampled path exceeds exact diameter: %+v", r)
+		}
+		if r.Estimate != 4*r.Longest {
+			t.Fatalf("4x rule broken: %+v", r)
+		}
+		if i > 0 && r.Longest < rows[i-1].Longest {
+			t.Fatalf("more sources found shorter longest path: %v", rows)
+		}
+	}
+	// With 256 sources on a small graph the estimate must cover the
+	// exact diameter (every vertex sampled).
+	last := rows[len(rows)-1]
+	if last.Estimate < last.Exact {
+		t.Fatalf("full-sampling estimate below exact: %+v", last)
+	}
+}
+
+func TestTemporalShape(t *testing.T) {
+	rows := Temporal(tiny())
+	if len(rows) != 4 { // H1N1 corpus spans weeks 36-39
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var total int
+	for i, r := range rows {
+		total += r.Tweets
+		if r.Users <= 0 || r.LWCCShare <= 0 || r.LWCCShare > 1 {
+			t.Fatalf("bad row %+v", r)
+		}
+		if r.Turnover < 0 || r.Turnover > 1 {
+			t.Fatalf("turnover out of range: %+v", r)
+		}
+		if i == 0 && r.Turnover != 0 {
+			t.Fatal("first window must have zero turnover")
+		}
+	}
+	// Crisis spike: the outbreak+1 week dominates the final week.
+	if rows[1].Tweets <= rows[3].Tweets {
+		t.Fatalf("no volume spike: %+v", rows)
+	}
+}
+
+func TestConfidenceShape(t *testing.T) {
+	cfg := tiny()
+	cfg.Realizations = 3
+	rows := Confidence(cfg)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TopKJaccard <= 0 || r.TopKJaccard > 1 {
+			t.Fatalf("jaccard out of range: %+v", r)
+		}
+		if r.TopCV < 0 || r.StableTop < 0 || r.StableTop > 25 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	// Stability should not collapse as sampling rises from 10% to 50%.
+	if rows[2].TopKJaccard+0.15 < rows[0].TopKJaccard {
+		t.Fatalf("stability fell with sampling: %+v", rows)
+	}
+}
+
+func TestRunIncludesExtras(t *testing.T) {
+	cfg := tiny()
+	cfg.Realizations = 2
+	var buf bytes.Buffer
+	cfg.Out = &buf
+	for _, name := range []string{"sampling", "robustness", "diameter", "temporal", "confidence"} {
+		if err := Run(name, cfg); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	for _, want := range []string{"sampling strategies", "robustness", "diameter estimator", "temporal analysis", "confidence"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}

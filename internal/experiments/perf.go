@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"graphct/internal/bc"
+	"graphct/internal/cc"
+	"graphct/internal/gen"
+	"graphct/internal/graph"
+	"graphct/internal/rank"
+)
+
+// SamplingFractions are the source-sampling levels of Figures 4 and 5.
+var SamplingFractions = []float64{0.10, 0.25, 0.50, 1.00}
+
+// TopFractions are the top-k levels of Figure 5.
+var TopFractions = []float64{0.01, 0.05, 0.10, 0.20}
+
+// Fig4Cell is the runtime at one sampling level.
+type Fig4Cell struct {
+	Fraction float64
+	Sources  int
+	Mean     time.Duration // mean over realizations
+}
+
+// Fig4Series is one data set's runtime curve.
+type Fig4Series struct {
+	Name     string
+	Vertices int
+	Edges    int64
+	Cells    []Fig4Cell
+}
+
+// Fig4 regenerates Figure 4: betweenness centrality runtime versus the
+// percentage of randomly sampled source vertices, averaged over the
+// configured realizations. Exact centrality (100%) is the control; the
+// paper's log-linear plot shows the near-proportional drop reproduced
+// here.
+func Fig4(cfg Config) []Fig4Series {
+	var out []Fig4Series
+	w := cfg.out()
+	fprintf(w, "Fig 4 — approximate BC runtime vs sampling (mean of %d runs)\n", cfg.realizations())
+	for _, c := range cfg.corpora() {
+		ug := harvest(c.Opts)
+		g := ug.Undirected()
+		s := Fig4Series{Name: c.Name, Vertices: g.NumVertices(), Edges: g.NumEdges()}
+		for _, frac := range SamplingFractions {
+			sources := int(frac * float64(g.NumVertices()))
+			if sources < 1 {
+				sources = 1
+			}
+			var total time.Duration
+			for r := 0; r < cfg.realizations(); r++ {
+				seed := cfg.Seed + int64(r)
+				total += timed(func() {
+					bc.Centrality(g, bc.Options{Samples: sources, Seed: seed})
+				})
+			}
+			s.Cells = append(s.Cells, Fig4Cell{
+				Fraction: frac,
+				Sources:  sources,
+				Mean:     total / time.Duration(cfg.realizations()),
+			})
+		}
+		out = append(out, s)
+		fprintf(w, "%s (%d vertices, %d edges)\n", s.Name, s.Vertices, s.Edges)
+		for _, cell := range s.Cells {
+			fprintf(w, "  %3.0f%% sampling (%6d sources): %12v\n", 100*cell.Fraction, cell.Sources, cell.Mean)
+		}
+	}
+	return out
+}
+
+// Fig5Cell is the overlap accuracy at one (sampling, top-k) pair.
+type Fig5Cell struct {
+	Fraction float64 // sources sampled
+	TopFrac  float64 // top-k level compared
+	Overlap  float64 // mean fraction of exact top-k recovered
+}
+
+// Fig5Series is one data set's accuracy surface.
+type Fig5Series struct {
+	Name  string
+	Cells []Fig5Cell
+}
+
+// Fig5 regenerates Figure 5: the fraction of the exact top 1/5/10/20% of
+// actors recovered by approximate BC at each sampling level, averaged over
+// realizations. The paper reports >= 80% at 10% sampling for the top 1-5%
+// and >= 90% at 25-50% sampling.
+func Fig5(cfg Config) []Fig5Series {
+	var out []Fig5Series
+	w := cfg.out()
+	fprintf(w, "Fig 5 — approximate vs exact BC top-k%% overlap (mean of %d runs)\n", cfg.realizations())
+	for _, c := range cfg.corpora() {
+		ug := harvest(c.Opts)
+		// Rank within the LWCC: unguided sampling on the full graph
+		// spends most sources on tiny components (the paper notes this
+		// failure mode; Section V conjectures it causes the variability).
+		g, _ := cc.Largest(ug.Graph)
+		exact := bc.Exact(g)
+		s := Fig5Series{Name: c.Name}
+		fprintf(w, "%s (%d vertices)\n", c.Name, g.NumVertices())
+		for _, frac := range SamplingFractions {
+			sources := int(frac * float64(g.NumVertices()))
+			if sources < 1 {
+				sources = 1
+			}
+			sums := make([]float64, len(TopFractions))
+			for r := 0; r < cfg.realizations(); r++ {
+				approx := bc.Centrality(g, bc.Options{Samples: sources, Seed: cfg.Seed + int64(r)})
+				for ti, tf := range TopFractions {
+					sums[ti] += rank.TopAccuracy(exact.Scores, approx.Scores, tf)
+				}
+			}
+			for ti, tf := range TopFractions {
+				cell := Fig5Cell{Fraction: frac, TopFrac: tf, Overlap: sums[ti] / float64(cfg.realizations())}
+				s.Cells = append(s.Cells, cell)
+				fprintf(w, "  sampling %3.0f%% top %2.0f%%: overlap %.3f\n",
+					100*cell.Fraction, 100*cell.TopFrac, cell.Overlap)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig6Point is one graph's size and BC estimation time.
+type Fig6Point struct {
+	Name     string
+	Vertices int
+	Edges    int64
+	SizeVE   float64 // vertices x edges, the paper's x-axis
+	Elapsed  time.Duration
+}
+
+// Fig6 regenerates Figure 6: time to estimate betweenness centrality with
+// 256 source vertices as a function of graph size (V*E), across the tweet
+// corpora and an R-MAT sweep standing in for the Facebook-scale and Kwak
+// et al. graphs. The expected shape is near-linear growth in V*E at fixed
+// source count.
+func Fig6(cfg Config) []Fig6Point {
+	const sources = 256
+	var out []Fig6Point
+	w := cfg.out()
+	fprintf(w, "Fig 6 — BC estimation time (256 sources) vs graph size\n")
+	fprintf(w, "%-28s %10s %12s %14s %12s\n", "graph", "vertices", "edges", "V*E", "time")
+	emit := func(name string, g *graph.Graph) {
+		elapsed := timed(func() {
+			bc.Centrality(g, bc.Options{Samples: sources, Seed: cfg.Seed})
+		})
+		p := Fig6Point{
+			Name:     name,
+			Vertices: g.NumVertices(),
+			Edges:    g.NumEdges(),
+			SizeVE:   float64(g.NumVertices()) * float64(g.NumEdges()),
+			Elapsed:  elapsed,
+		}
+		out = append(out, p)
+		fprintf(w, "%-28s %10d %12d %14.3e %12v\n", p.Name, p.Vertices, p.Edges, p.SizeVE, p.Elapsed)
+	}
+	for _, c := range cfg.corpora() {
+		ug := harvest(c.Opts)
+		emit(c.Name, ug.Undirected())
+	}
+	for _, scale := range cfg.RMATScales {
+		emit(rmatName(scale), gen.RMAT(gen.PaperRMAT(scale, cfg.Seed)))
+	}
+	return out
+}
+
+func rmatName(scale int) string {
+	return fmt.Sprintf("R-MAT scale %d", scale)
+}

@@ -1,0 +1,96 @@
+package gen
+
+import "graphct/internal/graph"
+
+// Path returns the undirected path 0-1-...-(n-1).
+func Path(n int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{U: int32(v - 1), V: int32(v)})
+	}
+	return must(n, edges)
+}
+
+// Ring returns the undirected cycle on n vertices (n >= 3).
+func Ring(n int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n)
+	for v := 0; v < n; v++ {
+		edges = append(edges, graph.Edge{U: int32(v), V: int32((v + 1) % n)})
+	}
+	return must(n, edges)
+}
+
+// Star returns the star with center 0 and n-1 leaves, the archetype of the
+// paper's broadcast hubs.
+func Star(n int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{U: 0, V: int32(v)})
+	}
+	return must(n, edges)
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, graph.Edge{U: int32(u), V: int32(v)})
+		}
+	}
+	return must(n, edges)
+}
+
+// BinaryTree returns a complete binary tree with n vertices; vertex 0 is the
+// root and vertex v has parent (v-1)/2.
+func BinaryTree(n int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{U: int32((v - 1) / 2), V: int32(v)})
+	}
+	return must(n, edges)
+}
+
+// Grid returns the rows x cols 4-connected grid.
+func Grid(rows, cols int) *graph.Graph {
+	var edges []graph.Edge
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r+1, c)})
+			}
+		}
+	}
+	return must(rows*cols, edges)
+}
+
+// Disjoint unions the given graphs on a fresh shared vertex numbering,
+// producing one graph whose connected components are the inputs.
+func Disjoint(gs ...*graph.Graph) *graph.Graph {
+	var n int
+	var edges []graph.Edge
+	for _, g := range gs {
+		base := int32(n)
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, w := range g.Neighbors(int32(v)) {
+				if w >= int32(v) {
+					edges = append(edges, graph.Edge{U: base + int32(v), V: base + w})
+				}
+			}
+		}
+		n += g.NumVertices()
+	}
+	return must(n, edges)
+}
+
+func must(n int, edges []graph.Edge) *graph.Graph {
+	g, err := graph.FromEdges(n, edges, graph.Options{KeepSelfLoops: true})
+	if err != nil {
+		panic("gen: deterministic generator out of range: " + err.Error())
+	}
+	return g
+}

@@ -1,0 +1,200 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graphct/internal/graph"
+)
+
+func TestRMATShape(t *testing.T) {
+	p := PaperRMAT(8, 42)
+	g := RMAT(p)
+	if g.NumVertices() != 256 {
+		t.Fatalf("vertices = %d, want 256", g.NumVertices())
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 16*256 {
+		t.Fatalf("edges = %d, want within (0, 4096]", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMATEdges(PaperRMAT(7, 1))
+	b := RMATEdges(PaperRMAT(7, 1))
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := RMATEdges(PaperRMAT(7, 2))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical edge lists")
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	// With A=0.55 the degree distribution must be skewed: the max degree
+	// should far exceed the mean.
+	g := RMAT(PaperRMAT(10, 3))
+	mean := float64(g.NumArcs()) / float64(g.NumVertices())
+	if float64(g.MaxDegree()) < 4*mean {
+		t.Fatalf("max degree %d not skewed vs mean %.1f", g.MaxDegree(), mean)
+	}
+}
+
+func TestRMATNoNoise(t *testing.T) {
+	p := PaperRMAT(6, 9)
+	p.Noise = 0
+	g := RMAT(p)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(100, 300, 5)
+	if g.NumVertices() != 100 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 300 {
+		t.Fatalf("m = %d, want within (0, 300]", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreferentialAttachmentShape(t *testing.T) {
+	g := PreferentialAttachment(500, 3, 11)
+	if g.NumVertices() != 500 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Heavy tail: max degree well above attachment parameter.
+	if g.MaxDegree() < 12 {
+		t.Fatalf("max degree %d suspiciously small for PA graph", g.MaxDegree())
+	}
+	if PreferentialAttachment(10, 0, 1).NumVertices() != 10 {
+		t.Fatal("k<1 not clamped")
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := Path(5)
+	if g.NumEdges() != 4 || g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Fatalf("path wrong: %v", g)
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := Ring(6)
+	if g.NumEdges() != 6 {
+		t.Fatalf("ring edges = %d", g.NumEdges())
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(int32(v)) != 2 {
+			t.Fatalf("ring degree(%d) = %d", v, g.Degree(int32(v)))
+		}
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(10)
+	if g.Degree(0) != 9 {
+		t.Fatalf("hub degree = %d", g.Degree(0))
+	}
+	for v := 1; v < 10; v++ {
+		if g.Degree(int32(v)) != 1 {
+			t.Fatalf("leaf degree(%d) = %d", v, g.Degree(int32(v)))
+		}
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(6)
+	if g.NumEdges() != 15 {
+		t.Fatalf("K6 edges = %d, want 15", g.NumEdges())
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	g := BinaryTree(7)
+	if g.NumEdges() != 6 || g.Degree(0) != 2 || g.Degree(6) != 1 {
+		t.Fatalf("tree wrong: %v", g)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.NumVertices() != 12 {
+		t.Fatalf("grid n = %d", g.NumVertices())
+	}
+	// edges = 3*3 horizontal + 2*4 vertical = 17
+	if g.NumEdges() != 17 {
+		t.Fatalf("grid edges = %d, want 17", g.NumEdges())
+	}
+	if g.Degree(0) != 2 {
+		t.Fatalf("corner degree = %d", g.Degree(0))
+	}
+}
+
+func TestDisjoint(t *testing.T) {
+	g := Disjoint(Ring(3), Path(4), Star(5))
+	if g.NumVertices() != 12 {
+		t.Fatalf("disjoint n = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 3+3+4 {
+		t.Fatalf("disjoint edges = %d", g.NumEdges())
+	}
+	// No cross edges: vertex 0 (ring) should not reach vertex 3 (path).
+	if g.HasEdge(0, 3) {
+		t.Fatal("cross-component edge")
+	}
+}
+
+// Property: every R-MAT edge stays in range for arbitrary small scales.
+func TestPropertyRMATRange(t *testing.T) {
+	f := func(seed int64, s uint8) bool {
+		scale := int(s%6) + 3
+		p := PaperRMAT(scale, seed)
+		p.EdgeFactor = 4
+		for _, e := range RMATEdges(p) {
+			if e.U < 0 || e.V < 0 || int(e.U) >= 1<<uint(scale) || int(e.V) >= 1<<uint(scale) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: all generators yield graphs passing Validate.
+func TestPropertyGeneratorsValid(t *testing.T) {
+	graphs := []*graph.Graph{
+		Path(2), Ring(3), Star(2), Complete(2), BinaryTree(1), Grid(1, 1),
+		Path(50), Ring(50), Star(50), Complete(12), BinaryTree(63), Grid(7, 9),
+		ErdosRenyi(64, 128, 2), PreferentialAttachment(64, 2, 2),
+	}
+	for i, g := range graphs {
+		if err := g.Validate(); err != nil {
+			t.Errorf("graph %d invalid: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"graphct/internal/par"
+)
+
+// Options controls edge-list ingest.
+type Options struct {
+	// Directed stores arcs as given; otherwise every edge is symmetrized.
+	Directed bool
+	// KeepDuplicates retains duplicate interactions, producing a
+	// multigraph. GraphCT's Twitter pipeline discards duplicates; the
+	// flag exists for the dedup ablation.
+	KeepDuplicates bool
+	// KeepSelfLoops retains u==u arcs ("self-referring vertices"). The
+	// default drops them, as the mention-graph builder does.
+	KeepSelfLoops bool
+}
+
+// FromEdges ingests an edge list into a CSR graph with n vertices. Vertex
+// ids must lie in [0, n); n may exceed the largest referenced id to include
+// isolated vertices. The input slice may be reordered.
+func FromEdges(n int, edges []Edge, opt Options) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	for _, e := range edges {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+	}
+	if !opt.KeepSelfLoops {
+		edges = FilterSelfLoops(edges)
+	}
+	if !opt.KeepDuplicates {
+		edges = DedupEdges(edges, !opt.Directed)
+	}
+	g := scatter(n, edges, nil, opt.Directed)
+	return g, nil
+}
+
+// FromWeightedEdges ingests a weighted edge list. Duplicate handling keeps
+// the first instance of each arc after sorting.
+func FromWeightedEdges(n int, edges []WeightedEdge, opt Options) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	for _, e := range edges {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+	}
+	if !opt.KeepSelfLoops {
+		out := edges[:0]
+		for _, e := range edges {
+			if e.U != e.V {
+				out = append(out, e)
+			}
+		}
+		edges = out
+	}
+	if !opt.KeepDuplicates {
+		if !opt.Directed {
+			for i, e := range edges {
+				if e.U > e.V {
+					edges[i].U, edges[i].V = e.V, e.U
+				}
+			}
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].U != edges[j].U {
+				return edges[i].U < edges[j].U
+			}
+			return edges[i].V < edges[j].V
+		})
+		out := edges[:0]
+		for i, e := range edges {
+			if i == 0 || e.U != edges[i-1].U || e.V != edges[i-1].V {
+				out = append(out, e)
+			}
+		}
+		edges = out
+	}
+	plain := make([]Edge, len(edges))
+	weights := make([]int32, len(edges))
+	for i, e := range edges {
+		plain[i] = Edge{e.U, e.V}
+		weights[i] = e.W
+	}
+	return scatter(n, plain, weights, opt.Directed), nil
+}
+
+// scatter builds the CSR arrays from a cleaned edge list: parallel degree
+// histogram via atomic fetch-and-add, exclusive prefix sum, parallel
+// scatter claiming slots with fetch-and-add, then a parallel per-vertex
+// sort. This is the XMT ingest pattern on goroutines.
+func scatter(n int, edges []Edge, weights []int32, directed bool) *Graph {
+	deg := make([]int64, n)
+	par.For(len(edges), func(i int) {
+		e := edges[i]
+		atomic.AddInt64(&deg[e.U], 1)
+		if !directed && e.U != e.V {
+			atomic.AddInt64(&deg[e.V], 1)
+		}
+	})
+	rowPtr := make([]int64, n+1)
+	var sum int64
+	for v := 0; v < n; v++ {
+		rowPtr[v] = sum
+		sum += deg[v]
+	}
+	rowPtr[n] = sum
+	adj := make([]int32, sum)
+	var wts []int32
+	if weights != nil {
+		wts = make([]int32, sum)
+	}
+	cursor := make([]int64, n)
+	copy(cursor, rowPtr[:n])
+	par.For(len(edges), func(i int) {
+		e := edges[i]
+		slot := atomic.AddInt64(&cursor[e.U], 1) - 1
+		adj[slot] = e.V
+		if wts != nil {
+			wts[slot] = weights[i]
+		}
+		if !directed && e.U != e.V {
+			slot = atomic.AddInt64(&cursor[e.V], 1) - 1
+			adj[slot] = e.U
+			if wts != nil {
+				wts[slot] = weights[i]
+			}
+		}
+	})
+	g := &Graph{rowPtr: rowPtr, adj: adj, weights: wts, directed: directed}
+	par.For(n, func(v int) {
+		lo, hi := rowPtr[v], rowPtr[v+1]
+		if hi-lo < 2 {
+			return
+		}
+		if wts == nil {
+			s := adj[lo:hi]
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+			return
+		}
+		a, w := adj[lo:hi], wts[lo:hi]
+		idx := make([]int, len(a))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(i, j int) bool { return a[idx[i]] < a[idx[j]] })
+		sa := make([]int32, len(a))
+		sw := make([]int32, len(a))
+		for i, k := range idx {
+			sa[i], sw[i] = a[k], w[k]
+		}
+		copy(a, sa)
+		copy(w, sw)
+	})
+	return g
+}
+
+// Empty returns a graph with n vertices and no edges.
+func Empty(n int, directed bool) *Graph {
+	return &Graph{rowPtr: make([]int64, n+1), adj: nil, directed: directed}
+}

@@ -1,0 +1,118 @@
+package graph
+
+import "graphct/internal/par"
+
+// Undirected returns an undirected copy of g: every arc u->v becomes edge
+// {u,v}, duplicates merged. The GraphCT utility "convert a directed graph to
+// an undirected graph". If g is already undirected it is returned as is.
+func (g *Graph) Undirected() *Graph {
+	if !g.directed {
+		return g
+	}
+	edges := make([]Edge, 0, g.NumArcs())
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(int32(v)) {
+			edges = append(edges, Edge{int32(v), w})
+		}
+	}
+	u, _ := FromEdges(g.NumVertices(), edges, Options{KeepSelfLoops: true})
+	return u
+}
+
+// Reverse returns the transpose of a directed graph (in-neighbors become
+// out-neighbors). For undirected graphs it returns g.
+func (g *Graph) Reverse() *Graph {
+	if !g.directed {
+		return g
+	}
+	edges := make([]Edge, 0, g.NumArcs())
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(int32(v)) {
+			edges = append(edges, Edge{w, int32(v)})
+		}
+	}
+	r, _ := FromEdges(g.NumVertices(), edges, Options{Directed: true, KeepSelfLoops: true, KeepDuplicates: true})
+	return r
+}
+
+// Induced extracts the subgraph on the vertices with keep[v] == true,
+// relabeling vertices densely. It returns the subgraph and origID, where
+// origID[new] is the vertex id in g. Edges with either endpoint outside the
+// kept set are dropped. This is GraphCT's "extract a subgraph induced by a
+// coloring function".
+func (g *Graph) Induced(keep []bool) (*Graph, []int32) {
+	n := g.NumVertices()
+	newID := make([]int32, n)
+	origID := make([]int32, 0)
+	var m int32
+	for v := 0; v < n; v++ {
+		if keep[v] {
+			newID[v] = m
+			origID = append(origID, int32(v))
+			m++
+		} else {
+			newID[v] = -1
+		}
+	}
+	var edges []Edge
+	for v := 0; v < n; v++ {
+		if !keep[v] {
+			continue
+		}
+		for _, w := range g.Neighbors(int32(v)) {
+			if keep[w] && (g.directed || w >= int32(v)) {
+				edges = append(edges, Edge{newID[v], newID[w]})
+			}
+		}
+	}
+	sub, _ := FromEdges(int(m), edges, Options{Directed: g.directed, KeepSelfLoops: true})
+	return sub, origID
+}
+
+// InducedByColor extracts the subgraph of vertices whose color matches c.
+func (g *Graph) InducedByColor(colors []int32, c int32) (*Graph, []int32) {
+	keep := make([]bool, g.NumVertices())
+	par.For(len(keep), func(v int) { keep[v] = colors[v] == c })
+	return g.Induced(keep)
+}
+
+// ReciprocalCore keeps only mutual arcs of a directed graph — vertex pairs
+// that referred to one another — returning the undirected graph of those
+// pairs over the same vertex set. This is the paper's subcommunity
+// ("conversation") filter; self loops never count as reciprocal.
+func (g *Graph) ReciprocalCore() *Graph {
+	n := g.NumVertices()
+	buckets := make([][]Edge, n)
+	par.For(n, func(v int) {
+		var out []Edge
+		for _, w := range g.Neighbors(int32(v)) {
+			if w > int32(v) && g.HasEdge(w, int32(v)) {
+				out = append(out, Edge{int32(v), w})
+			}
+		}
+		buckets[v] = out
+	})
+	var edges []Edge
+	for _, b := range buckets {
+		edges = append(edges, b...)
+	}
+	core, _ := FromEdges(n, edges, Options{})
+	return core
+}
+
+// DropIsolated removes vertices with no incident arcs in either direction,
+// returning the compacted graph and the original ids of the survivors.
+func (g *Graph) DropIsolated() (*Graph, []int32) {
+	keep := make([]bool, g.NumVertices())
+	par.For(len(keep), func(v int) { keep[v] = g.Degree(int32(v)) > 0 })
+	if g.directed {
+		// A vertex mentioned but never mentioning (pure broadcast hub)
+		// has out-degree 0 yet is not isolated.
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, w := range g.Neighbors(int32(v)) {
+				keep[w] = true
+			}
+		}
+	}
+	return g.Induced(keep)
+}

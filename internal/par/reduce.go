@@ -1,0 +1,82 @@
+package par
+
+import "sync"
+
+// Number covers the numeric element types the reductions operate on.
+type Number interface {
+	~int | ~int32 | ~int64 | ~uint32 | ~uint64 | ~float64
+}
+
+// ReduceSum returns the sum of f(i) over [0, n), computed in parallel with
+// per-worker partial sums merged once at the end (no atomics on the hot
+// path).
+func ReduceSum[T Number](n int, f func(i int) T) T {
+	return reduce(n, f, func(a, b T) T { return a + b }, 0)
+}
+
+// ReduceMax returns the maximum of f(i) over [0, n) and the identity value
+// id when n <= 0.
+func ReduceMax[T Number](n int, f func(i int) T, id T) T {
+	return reduce(n, f, func(a, b T) T {
+		if a >= b {
+			return a
+		}
+		return b
+	}, id)
+}
+
+// ReduceMin returns the minimum of f(i) over [0, n) and the identity value
+// id when n <= 0.
+func ReduceMin[T Number](n int, f func(i int) T, id T) T {
+	return reduce(n, f, func(a, b T) T {
+		if a <= b {
+			return a
+		}
+		return b
+	}, id)
+}
+
+func reduce[T Number](n int, f func(i int) T, combine func(a, b T) T, id T) T {
+	if n <= 0 {
+		return id
+	}
+	workers := Workers()
+	if workers == 1 {
+		acc := id
+		for i := 0; i < n; i++ {
+			acc = combine(acc, f(i))
+		}
+		return acc
+	}
+	partial := make([]T, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo := w * n / workers
+			hi := (w + 1) * n / workers
+			acc := id
+			for i := lo; i < hi; i++ {
+				acc = combine(acc, f(i))
+			}
+			partial[w] = acc
+		}(w)
+	}
+	wg.Wait()
+	acc := id
+	for _, p := range partial {
+		acc = combine(acc, p)
+	}
+	return acc
+}
+
+// Count returns the number of i in [0, n) for which pred(i) holds.
+func Count(n int, pred func(i int) bool) int64 {
+	return ReduceSum(n, func(i int) int64 {
+		if pred(i) {
+			return 1
+		}
+		return 0
+	})
+}

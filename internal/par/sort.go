@@ -1,0 +1,114 @@
+package par
+
+import "sync"
+
+// RadixSortUint64 sorts a in place (ascending) with a parallel
+// least-significant-digit radix sort: per-worker digit histograms, a
+// global (digit, worker) prefix sum, and a stable parallel scatter per
+// 11-bit pass. Graph ingest packs edge endpoints into uint64 keys and
+// sorts millions of them per load, which is why this isn't sort.Slice.
+func RadixSortUint64(a []uint64) {
+	const (
+		bits    = 11
+		buckets = 1 << bits
+		mask    = buckets - 1
+		passes  = (64 + bits - 1) / bits
+	)
+	n := len(a)
+	if n < 2 {
+		return
+	}
+	workers := Workers()
+	if n < 1<<12 || workers == 1 {
+		insertionless(a)
+		return
+	}
+	buf := make([]uint64, n)
+	hist := make([][]int64, workers)
+	for w := range hist {
+		hist[w] = make([]int64, buckets)
+	}
+	src, dst := a, buf
+	for pass := 0; pass < passes; pass++ {
+		shift := uint(pass * bits)
+		// Phase 1: per-worker histograms over contiguous chunks.
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				h := hist[w]
+				for i := range h {
+					h[i] = 0
+				}
+				lo, hi := w*n/workers, (w+1)*n/workers
+				for _, v := range src[lo:hi] {
+					h[(v>>shift)&mask]++
+				}
+			}(w)
+		}
+		wg.Wait()
+		// Phase 2: exclusive prefix over (digit, worker) so each worker
+		// owns a stable output range per digit.
+		var sum int64
+		for d := 0; d < buckets; d++ {
+			for w := 0; w < workers; w++ {
+				c := hist[w][d]
+				hist[w][d] = sum
+				sum += c
+			}
+		}
+		// Phase 3: stable parallel scatter.
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				h := hist[w]
+				lo, hi := w*n/workers, (w+1)*n/workers
+				for _, v := range src[lo:hi] {
+					d := (v >> shift) & mask
+					dst[h[d]] = v
+					h[d]++
+				}
+			}(w)
+		}
+		wg.Wait()
+		src, dst = dst, src
+	}
+	// passes is even for 64/11 -> 6 passes: src points back at a. If the
+	// pass count were odd the result would sit in buf; copy defensively.
+	if &src[0] != &a[0] {
+		copy(a, src)
+	}
+}
+
+// insertionless is the small-input fallback: a simple binary-insertion-free
+// LSD radix using one buffer, sequential.
+func insertionless(a []uint64) {
+	const bits = 8
+	const buckets = 1 << bits
+	buf := make([]uint64, len(a))
+	src, dst := a, buf
+	for pass := 0; pass < 8; pass++ {
+		shift := uint(pass * bits)
+		var count [buckets]int
+		for _, v := range src {
+			count[(v>>shift)&(buckets-1)]++
+		}
+		sum := 0
+		for d := 0; d < buckets; d++ {
+			c := count[d]
+			count[d] = sum
+			sum += c
+		}
+		for _, v := range src {
+			d := (v >> shift) & (buckets - 1)
+			dst[count[d]] = v
+			count[d]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &a[0] {
+		copy(a, src)
+	}
+}

@@ -1,0 +1,157 @@
+// Package rank compares vertex rankings, implementing the paper's accuracy
+// metric for approximate betweenness centrality: the normalized top-N% set
+// Hamming distance between the actors ranked by exact and approximate
+// scores (after Fagin et al.'s top-k list comparison).
+package rank
+
+import (
+	"math"
+	"sort"
+)
+
+// Top returns the indices of the k highest scores, descending, ties broken
+// by ascending index so rankings are deterministic.
+func Top(scores []float64, k int) []int32 {
+	n := len(scores)
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:k]
+}
+
+// TopFraction returns the top ceil(frac*n) indices by score.
+func TopFraction(scores []float64, frac float64) []int32 {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	k := int(math.Ceil(frac * float64(len(scores))))
+	return Top(scores, k)
+}
+
+// Overlap returns |A ∩ B| / k for two top-k sets of equal length k: the
+// "percent of top k actors present in both exact and approximate BC
+// rankings" of the paper's Fig. 5. Empty sets overlap fully.
+func Overlap(a, b []int32) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	k := len(a)
+	if len(b) > k {
+		k = len(b)
+	}
+	inA := make(map[int32]bool, len(a))
+	for _, v := range a {
+		inA[v] = true
+	}
+	common := 0
+	for _, v := range b {
+		if inA[v] {
+			common++
+		}
+	}
+	return float64(common) / float64(k)
+}
+
+// NormalizedHamming returns the normalized set Hamming distance between two
+// top-k sets: |A △ B| / (|A| + |B|), which is 0 for identical sets and 1
+// for disjoint ones. With |A| = |B| it equals 1 − Overlap.
+func NormalizedHamming(a, b []int32) float64 {
+	if len(a)+len(b) == 0 {
+		return 0
+	}
+	inA := make(map[int32]bool, len(a))
+	for _, v := range a {
+		inA[v] = true
+	}
+	inB := make(map[int32]bool, len(b))
+	for _, v := range b {
+		inB[v] = true
+	}
+	diff := 0
+	for v := range inA {
+		if !inB[v] {
+			diff++
+		}
+	}
+	for v := range inB {
+		if !inA[v] {
+			diff++
+		}
+	}
+	return float64(diff) / float64(len(a)+len(b))
+}
+
+// TopAccuracy compares approximate scores against exact scores at the given
+// top fraction, returning the Fig. 5 overlap metric.
+func TopAccuracy(exact, approx []float64, frac float64) float64 {
+	return Overlap(TopFraction(exact, frac), TopFraction(approx, frac))
+}
+
+// Spearman returns the Spearman rank correlation between two score vectors
+// of equal length — a whole-ranking complement to the top-k set metrics.
+// It returns 0 for vectors shorter than 2.
+func Spearman(x, y []float64) float64 {
+	n := len(x)
+	if n != len(y) || n < 2 {
+		return 0
+	}
+	rx := ranks(x)
+	ry := ranks(y)
+	var mx, my float64
+	for i := 0; i < n; i++ {
+		mx += rx[i]
+		my += ry[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var cov, vx, vy float64
+	for i := 0; i < n; i++ {
+		dx, dy := rx[i]-mx, ry[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// ranks assigns average ranks (1-based) with ties sharing the mean rank.
+func ranks(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	r := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for t := i; t <= j; t++ {
+			r[idx[t]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}

@@ -1,0 +1,445 @@
+// Package script implements GraphCT's prototype scripting interface: a
+// line-oriented command language executed sequentially, with the first
+// line reading a graph from disk and following lines invoking one kernel
+// each. Per-vertex results can be redirected to files with "=> path"; all
+// other kernels print to the interpreter's output. A stack-based memory —
+// "similar to that of a basic calculator" — saves and restores graphs so a
+// subgraph can be analyzed and the original recalled. The language has no
+// loops; an external process can monitor results and drive execution.
+package script
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"graphct/internal/bc"
+	"graphct/internal/core"
+	"graphct/internal/dimacs"
+	"graphct/internal/rank"
+	"graphct/internal/sssp"
+	"graphct/internal/stats"
+)
+
+// Interp executes GraphCT scripts.
+type Interp struct {
+	tk   *core.Toolkit
+	out  io.Writer
+	dir  string // base for relative file paths
+	seed int64
+	line int
+}
+
+// New returns an interpreter writing kernel output to out. Relative paths
+// in scripts resolve against dir ("" = current directory).
+func New(out io.Writer, dir string) *Interp {
+	return &Interp{out: out, dir: dir, seed: 1}
+}
+
+// SetSeed fixes the sampling seed used by kernels the interpreter runs.
+func (in *Interp) SetSeed(seed int64) { in.seed = seed }
+
+// Toolkit exposes the current toolkit (nil before any read command).
+func (in *Interp) Toolkit() *core.Toolkit { return in.tk }
+
+// Run executes a script line by line, stopping at the first error.
+func (in *Interp) Run(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	in.line = 0
+	for sc.Scan() {
+		in.line++
+		if err := in.Exec(sc.Text()); err != nil {
+			return fmt.Errorf("script line %d: %w", in.line, err)
+		}
+	}
+	return sc.Err()
+}
+
+// RunFile executes the script in the named file.
+func (in *Interp) RunFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if in.dir == "" {
+		in.dir = filepath.Dir(path)
+	}
+	return in.Run(f)
+}
+
+// Exec executes one script line.
+func (in *Interp) Exec(line string) error {
+	// Split off the "=> file" redirection first.
+	redirect := ""
+	if idx := strings.Index(line, "=>"); idx >= 0 {
+		redirect = strings.TrimSpace(line[idx+2:])
+		line = line[:idx]
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+		return nil
+	}
+	cmd := strings.ToLower(fields[0])
+	args := fields[1:]
+	if cmd != "read" && cmd != "compare" && in.tk == nil {
+		return fmt.Errorf("no graph loaded (missing read command)")
+	}
+	switch cmd {
+	case "read":
+		return in.cmdRead(args)
+	case "print":
+		return in.cmdPrint(args, redirect)
+	case "save":
+		return in.cmdSave(args)
+	case "restore":
+		return in.cmdRestore(args)
+	case "extract":
+		return in.cmdExtract(args, redirect)
+	case "kcentrality":
+		return in.cmdKCentrality(args, redirect)
+	case "components":
+		return in.cmdComponents()
+	case "kcores":
+		return in.cmdKCores(args)
+	case "clustering":
+		return in.cmdClustering(redirect)
+	case "undirected":
+		in.tk.ToUndirected()
+		return nil
+	case "reciprocal":
+		in.tk.ReciprocalCore()
+		return nil
+	case "bfs":
+		return in.cmdBFS(args)
+	case "compare":
+		return in.cmdCompare(args)
+	case "stats":
+		return in.cmdStats()
+	case "sssp":
+		return in.cmdSSSP(args, redirect)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// cmdSSSP runs weighted single-source shortest paths via delta-stepping;
+// "=> file" writes per-vertex distances (-1 for unreachable).
+func (in *Interp) cmdSSSP(args []string, redirect string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: sssp SOURCE [=> dist.txt]")
+	}
+	src, err := strconv.Atoi(args[0])
+	if err != nil || src < 0 || src >= in.tk.Graph().NumVertices() {
+		return fmt.Errorf("bad source %q", args[0])
+	}
+	res, err := in.tk.SSSP(int32(src))
+	if err != nil {
+		return err
+	}
+	reached := 0
+	maxDist := int64(0)
+	for _, d := range res.Dist {
+		if d != sssp.Inf {
+			reached++
+			if d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	if redirect != "" {
+		scores := make([]float64, len(res.Dist))
+		for v, d := range res.Dist {
+			if d == sssp.Inf {
+				scores[v] = -1
+			} else {
+				scores[v] = float64(d)
+			}
+		}
+		return writeScores(in.path(redirect), scores)
+	}
+	fmt.Fprintf(in.out, "sssp from %d: reached %d vertices, max distance %d\n", src, reached, maxDist)
+	return nil
+}
+
+// cmdStats prints the distribution characterization of Section III-C: the
+// power-law exponent fit, the share of links held by the top 20% of
+// vertices (the 80/20 observation), and the Gini concentration.
+func (in *Interp) cmdStats() error {
+	g := in.tk.Graph()
+	alpha, used := stats.PowerLawAlpha(g, 4)
+	fmt.Fprintf(in.out, "power-law alpha %.3f (fit over %d vertices with degree >= 4)\n", alpha, used)
+	fmt.Fprintf(in.out, "top-20%% of vertices hold %.1f%% of links\n", 100*stats.TopShare(g, 0.2))
+	fmt.Fprintf(in.out, "degree gini coefficient %.3f\n", stats.GiniCoefficient(g))
+	return nil
+}
+
+// cmdCompare implements the analyst's accuracy workflow over saved score
+// files: "compare exact.txt approx.txt 5" prints the overlap of the top
+// 5% of vertices between the two rankings (the paper's normalized set
+// Hamming comparison).
+func (in *Interp) cmdCompare(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: compare FILE1 FILE2 TOP_PERCENT")
+	}
+	pct, err := strconv.ParseFloat(args[2], 64)
+	if err != nil || pct <= 0 || pct > 100 {
+		return fmt.Errorf("bad top percent %q", args[2])
+	}
+	a, err := readScores(in.path(args[0]))
+	if err != nil {
+		return err
+	}
+	b, err := readScores(in.path(args[1]))
+	if err != nil {
+		return err
+	}
+	if len(a) != len(b) {
+		return fmt.Errorf("score files disagree on vertex count: %d vs %d", len(a), len(b))
+	}
+	frac := pct / 100
+	overlap := rank.TopAccuracy(a, b, frac)
+	hamming := rank.NormalizedHamming(rank.TopFraction(a, frac), rank.TopFraction(b, frac))
+	fmt.Fprintf(in.out, "top %.4g%%: overlap %.4f, normalized set hamming %.4f\n", pct, overlap, hamming)
+	return nil
+}
+
+// readScores reads a per-vertex score file written by writeScores. Lines
+// must be "vertex value" with vertices forming a dense 0..n-1 range in
+// any order.
+func readScores(path string) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var scores []float64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: malformed score line", path, line)
+		}
+		v, err := strconv.Atoi(fields[0])
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("%s:%d: bad vertex %q", path, line, fields[0])
+		}
+		s, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad score %q", path, line, fields[1])
+		}
+		for len(scores) <= v {
+			scores = append(scores, 0)
+		}
+		scores[v] = s
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return scores, nil
+}
+
+func (in *Interp) path(p string) string {
+	if filepath.IsAbs(p) || in.dir == "" {
+		return p
+	}
+	return filepath.Join(in.dir, p)
+}
+
+func (in *Interp) cmdRead(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: read dimacs|binary FILE")
+	}
+	kind, file := strings.ToLower(args[0]), in.path(args[1])
+	var err error
+	switch kind {
+	case "dimacs":
+		in.tk, err = core.LoadDIMACS(file, false, core.WithSeed(in.seed))
+	case "edgelist":
+		in.tk, err = core.LoadEdgeList(file, false, core.WithSeed(in.seed))
+	case "binary":
+		in.tk, err = core.LoadBinary(file, core.WithSeed(in.seed))
+	default:
+		return fmt.Errorf("unknown graph format %q", kind)
+	}
+	if err != nil {
+		return err
+	}
+	g := in.tk.Graph()
+	fmt.Fprintf(in.out, "read %s: %d vertices, %d edges\n", filepath.Base(file), g.NumVertices(), g.NumEdges())
+	return nil
+}
+
+func (in *Interp) cmdPrint(args []string, redirect string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: print diameter|degrees|components [...]")
+	}
+	switch strings.ToLower(args[0]) {
+	case "diameter":
+		// "print diameter 10" estimates from 10 percent of the
+		// vertices; no argument uses the 256-source default.
+		d := in.tk.Diameter()
+		if len(args) >= 2 {
+			pct, err := strconv.Atoi(args[1])
+			if err != nil || pct <= 0 || pct > 100 {
+				return fmt.Errorf("bad diameter sample percent %q", args[1])
+			}
+			n := in.tk.Graph().NumVertices()
+			samples := n * pct / 100
+			if samples < 1 {
+				samples = 1
+			}
+			d = stats.EstimateDiameter(in.tk.Graph(), samples, 4, in.seed)
+		}
+		fmt.Fprintf(in.out, "diameter estimate %d (longest sampled path %d from %d sources)\n",
+			d.Estimate, d.LongestPath, d.Sources)
+	case "degrees":
+		s := in.tk.DegreeStats()
+		fmt.Fprintf(in.out, "degrees: n %d, mean %.4f, variance %.4f, max %d\n", s.N, s.Mean, s.Variance, s.Max)
+	case "components":
+		return in.cmdComponents()
+	default:
+		return fmt.Errorf("unknown print target %q", args[0])
+	}
+	_ = redirect
+	return nil
+}
+
+func (in *Interp) cmdSave(args []string) error {
+	if len(args) != 1 || strings.ToLower(args[0]) != "graph" {
+		return fmt.Errorf("usage: save graph")
+	}
+	in.tk.Save()
+	return nil
+}
+
+func (in *Interp) cmdRestore(args []string) error {
+	if len(args) != 1 || strings.ToLower(args[0]) != "graph" {
+		return fmt.Errorf("usage: restore graph")
+	}
+	return in.tk.Restore()
+}
+
+func (in *Interp) cmdExtract(args []string, redirect string) error {
+	if len(args) != 2 || strings.ToLower(args[0]) != "component" {
+		return fmt.Errorf("usage: extract component N [=> file.bin]")
+	}
+	rank, err := strconv.Atoi(args[1])
+	if err != nil {
+		return fmt.Errorf("bad component rank %q", args[1])
+	}
+	if err := in.tk.ExtractComponent(rank); err != nil {
+		return err
+	}
+	g := in.tk.Graph()
+	fmt.Fprintf(in.out, "extracted component %d: %d vertices, %d edges\n", rank, g.NumVertices(), g.NumEdges())
+	if redirect != "" {
+		return dimacs.SaveBinary(in.path(redirect), g)
+	}
+	return nil
+}
+
+func (in *Interp) cmdKCentrality(args []string, redirect string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: kcentrality K SAMPLES [=> file]")
+	}
+	k, err := strconv.Atoi(args[0])
+	if err != nil || k < 0 || k > bc.MaxK {
+		return fmt.Errorf("bad k %q (supported range 0..%d)", args[0], bc.MaxK)
+	}
+	samples, err := strconv.Atoi(args[1])
+	if err != nil {
+		return fmt.Errorf("bad sample count %q", args[1])
+	}
+	res := in.tk.KCentrality(k, samples)
+	if redirect != "" {
+		return writeScores(in.path(redirect), res.Scores)
+	}
+	top := res.TopK(10)
+	fmt.Fprintf(in.out, "kcentrality k=%d samples=%d top vertices:\n", k, len(res.Sources))
+	for i, v := range top {
+		fmt.Fprintf(in.out, "%2d. vertex %d score %.2f\n", i+1, in.tk.OrigID(v), res.Scores[v])
+	}
+	return nil
+}
+
+func (in *Interp) cmdComponents() error {
+	census := in.tk.ComponentCensus()
+	fmt.Fprintf(in.out, "components: %d\n", len(census))
+	for i, c := range census {
+		if i >= 10 {
+			fmt.Fprintf(in.out, "... %d more\n", len(census)-10)
+			break
+		}
+		fmt.Fprintf(in.out, "component %d: %d vertices\n", i+1, c.Size)
+	}
+	return nil
+}
+
+func (in *Interp) cmdKCores(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: kcores K")
+	}
+	k, err := strconv.Atoi(args[0])
+	if err != nil || k < 0 {
+		return fmt.Errorf("bad core level %q", args[0])
+	}
+	in.tk.KCores(int32(k))
+	g := in.tk.Graph()
+	fmt.Fprintf(in.out, "%d-core: %d vertices, %d edges\n", k, g.NumVertices(), g.NumEdges())
+	return nil
+}
+
+func (in *Interp) cmdClustering(redirect string) error {
+	coef := in.tk.ClusteringCoefficients()
+	if redirect != "" {
+		return writeScores(in.path(redirect), coef)
+	}
+	fmt.Fprintf(in.out, "global clustering coefficient %.6f\n", in.tk.GlobalClustering())
+	return nil
+}
+
+func (in *Interp) cmdBFS(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: bfs SOURCE DEPTH")
+	}
+	src, err := strconv.Atoi(args[0])
+	if err != nil || src < 0 || src >= in.tk.Graph().NumVertices() {
+		return fmt.Errorf("bad source %q", args[0])
+	}
+	depth, err := strconv.Atoi(args[1])
+	if err != nil {
+		return fmt.Errorf("bad depth %q", args[1])
+	}
+	r := in.tk.BFS(int32(src), depth)
+	fmt.Fprintf(in.out, "bfs from %d: reached %d vertices, depth %d\n", src, r.NumReached(), r.Depth)
+	return nil
+}
+
+// writeScores writes one score per line, "vertex value".
+func writeScores(path string, scores []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for v, s := range scores {
+		fmt.Fprintf(w, "%d %.10g\n", v, s)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,190 @@
+package sssp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphct/internal/bfs"
+	"graphct/internal/gen"
+	"graphct/internal/graph"
+)
+
+func weightedRandom(t testing.TB, n, m int, maxW int32, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.WeightedEdge, m)
+	for i := range edges {
+		edges[i] = graph.WeightedEdge{
+			U: int32(rng.Intn(n)),
+			V: int32(rng.Intn(n)),
+			W: 1 + rng.Int31n(maxW),
+		}
+	}
+	g, err := graph.FromWeightedEdges(n, edges, graph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDijkstraWeightedPath(t *testing.T) {
+	// 0 -5- 1 -2- 2, plus direct 0 -9- 2: best route via 1 costs 7.
+	g, _ := graph.FromWeightedEdges(3, []graph.WeightedEdge{
+		{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 2}, {U: 0, V: 2, W: 9},
+	}, graph.Options{})
+	r, err := Dijkstra(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dist[1] != 5 || r.Dist[2] != 7 {
+		t.Fatalf("dist = %v", r.Dist)
+	}
+}
+
+func TestDijkstraUnreachableAndEdgeCases(t *testing.T) {
+	g := gen.Disjoint(gen.Path(3), gen.Path(2))
+	r, _ := Dijkstra(g, 0)
+	if r.Reached(3) || !r.Reached(2) {
+		t.Fatalf("reachability wrong: %v", r.Dist)
+	}
+	if r2, _ := Dijkstra(g, -1); r2.Reached(0) {
+		t.Fatal("bad source reached vertices")
+	}
+	if r3, _ := Dijkstra(graph.Empty(0, false), 0); len(r3.Dist) != 0 {
+		t.Fatal("empty graph")
+	}
+}
+
+func TestNegativeWeightsRejected(t *testing.T) {
+	g, _ := graph.FromWeightedEdges(2, []graph.WeightedEdge{{U: 0, V: 1, W: -3}}, graph.Options{})
+	if _, err := Dijkstra(g, 0); err == nil {
+		t.Fatal("negative weight accepted by dijkstra")
+	}
+	if _, err := DeltaStepping(g, 0, 2); err == nil {
+		t.Fatal("negative weight accepted by delta-stepping")
+	}
+}
+
+func TestUnweightedMatchesBFS(t *testing.T) {
+	g := gen.ErdosRenyi(200, 600, 3)
+	d, err := Dijkstra(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := DeltaStepping(g, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := bfs.Search(g, 5).Level
+	for v := 0; v < 200; v++ {
+		want := Inf
+		if lv[v] != bfs.Unreached {
+			want = int64(lv[v])
+		}
+		if d.Dist[v] != want || ds.Dist[v] != want {
+			t.Fatalf("v=%d dijkstra=%d delta=%d bfs=%d", v, d.Dist[v], ds.Dist[v], want)
+		}
+	}
+}
+
+func TestDeltaSteppingMatchesDijkstra(t *testing.T) {
+	f := func(seed int64, deltaRaw uint8) bool {
+		g := weightedRandom(t, 80, 250, 20, seed)
+		src := int32(seed%80+79) % 80
+		want, err := Dijkstra(g, src)
+		if err != nil {
+			return false
+		}
+		delta := int64(deltaRaw%30) + 1
+		got, err := DeltaStepping(g, src, delta)
+		if err != nil {
+			return false
+		}
+		for v := range want.Dist {
+			if want.Dist[v] != got.Dist[v] {
+				t.Logf("seed=%d delta=%d v=%d want %d got %d", seed, delta, v, want.Dist[v], got.Dist[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaSteppingHeuristicDelta(t *testing.T) {
+	g := weightedRandom(t, 120, 400, 50, 9)
+	want, _ := Dijkstra(g, 0)
+	got, err := DeltaStepping(g, 0, 0) // heuristic width
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Dist {
+		if want.Dist[v] != got.Dist[v] {
+			t.Fatalf("heuristic delta wrong at %d", v)
+		}
+	}
+}
+
+func TestDeltaSteppingLargeDelta(t *testing.T) {
+	// delta larger than any path weight: everything is one light bucket
+	// (Bellman-Ford-ish) and must still be exact.
+	g := weightedRandom(t, 60, 200, 5, 4)
+	want, _ := Dijkstra(g, 3)
+	got, err := DeltaStepping(g, 3, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Dist {
+		if want.Dist[v] != got.Dist[v] {
+			t.Fatalf("huge delta wrong at %d", v)
+		}
+	}
+}
+
+func TestDeltaSteppingDeltaOne(t *testing.T) {
+	// delta=1 makes every edge heavy: pure bucket-per-distance Dijkstra.
+	g := weightedRandom(t, 60, 200, 6, 8)
+	want, _ := Dijkstra(g, 1)
+	got, err := DeltaStepping(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Dist {
+		if want.Dist[v] != got.Dist[v] {
+			t.Fatalf("delta=1 wrong at %d", v)
+		}
+	}
+}
+
+func TestWeightedDirected(t *testing.T) {
+	g, _ := graph.FromWeightedEdges(3, []graph.WeightedEdge{
+		{U: 0, V: 1, W: 4}, {U: 1, V: 2, W: 4},
+	}, graph.Options{Directed: true})
+	r, _ := Dijkstra(g, 2)
+	if r.Reached(0) {
+		t.Fatal("directed distances should not flow backward")
+	}
+	fwd, _ := DeltaStepping(g, 0, 3)
+	if fwd.Dist[2] != 8 {
+		t.Fatalf("directed delta dist = %v", fwd.Dist)
+	}
+}
+
+func BenchmarkDijkstraWeighted(b *testing.B) {
+	g := weightedRandom(b, 20000, 100000, 100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dijkstra(g, int32(i%20000))
+	}
+}
+
+func BenchmarkDeltaSteppingWeighted(b *testing.B) {
+	g := weightedRandom(b, 20000, 100000, 100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DeltaStepping(g, int32(i%20000), 0)
+	}
+}

@@ -1,0 +1,143 @@
+// Package temporal analyzes tweet streams over time — the paper analyzes
+// one snapshot and notes that "characteristics change over time. This
+// paper considers only a snapshot, but ongoing work examines the data's
+// temporal aspects." A stream is sliced into weekly windows (isolated or
+// cumulative), each window's interaction graph characterized, and the
+// churn of the most-central actors tracked across windows.
+package temporal
+
+import (
+	"sort"
+
+	"graphct/internal/bc"
+	"graphct/internal/cc"
+	"graphct/internal/tweets"
+)
+
+// Snapshot is one time window's interaction graph and summary.
+type Snapshot struct {
+	Week      int
+	Users     *tweets.UserGraph
+	LWCCUsers int
+	TopActors []string // top actors by sampled betweenness centrality
+}
+
+// Options configures a temporal analysis.
+type Options struct {
+	// Cumulative grows each window to include all earlier weeks instead
+	// of isolating one week per snapshot.
+	Cumulative bool
+	// TopK actors ranked per window (default 10).
+	TopK int
+	// Samples for the per-window BC estimate; <= 0 means exact.
+	Samples int
+	Seed    int64
+}
+
+// Weeks returns the sorted distinct weeks present in the stream.
+func Weeks(ts []tweets.Tweet) []int {
+	seen := map[int]bool{}
+	for _, t := range ts {
+		seen[t.Week] = true
+	}
+	weeks := make([]int, 0, len(seen))
+	for w := range seen {
+		weeks = append(weeks, w)
+	}
+	sort.Ints(weeks)
+	return weeks
+}
+
+// Analyze slices the stream by week and characterizes each window.
+func Analyze(ts []tweets.Tweet, opt Options) []Snapshot {
+	if opt.TopK <= 0 {
+		opt.TopK = 10
+	}
+	weeks := Weeks(ts)
+	var out []Snapshot
+	for _, wk := range weeks {
+		lo := wk
+		if opt.Cumulative && len(weeks) > 0 {
+			lo = weeks[0]
+		}
+		window := tweets.FilterWeek(ts, lo, wk)
+		ug := tweets.Build(window)
+		snap := Snapshot{Week: wk, Users: ug}
+		if ug.Graph.NumVertices() > 0 {
+			lwcc, _ := cc.Largest(ug.Graph)
+			snap.LWCCUsers = lwcc.NumVertices()
+			res := bc.Centrality(ug.Graph, bc.Options{Samples: opt.Samples, Seed: opt.Seed})
+			snap.TopActors = ug.Handles(res.TopK(opt.TopK))
+		}
+		out = append(out, snap)
+	}
+	return out
+}
+
+// Turnover returns, per consecutive snapshot pair, the fraction of the
+// top-actor set replaced between windows: 0 means a stable elite, 1 a
+// complete churn. The comparison is by handle so windows with different
+// vertex numberings compare correctly.
+func Turnover(snaps []Snapshot) []float64 {
+	if len(snaps) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(snaps)-1)
+	for i := 1; i < len(snaps); i++ {
+		prev := toSet(snaps[i-1].TopActors)
+		cur := toSet(snaps[i].TopActors)
+		if len(prev) == 0 && len(cur) == 0 {
+			out = append(out, 0)
+			continue
+		}
+		max := len(prev)
+		if len(cur) > max {
+			max = len(cur)
+		}
+		common := 0
+		for h := range cur {
+			if prev[h] {
+				common++
+			}
+		}
+		out = append(out, 1-float64(common)/float64(max))
+	}
+	return out
+}
+
+func toSet(hs []string) map[string]bool {
+	m := make(map[string]bool, len(hs))
+	for _, h := range hs {
+		m[h] = true
+	}
+	return m
+}
+
+// GrowthRow summarizes one snapshot for trend tables.
+type GrowthRow struct {
+	Week         int
+	Tweets       int
+	Users        int
+	Interactions int64
+	LWCCShare    float64 // LWCC users / users
+}
+
+// Growth tabulates per-window sizes, the temporal counterpart of the
+// paper's Table III.
+func Growth(snaps []Snapshot) []GrowthRow {
+	rows := make([]GrowthRow, len(snaps))
+	for i, s := range snaps {
+		st := s.Users.Stats
+		row := GrowthRow{
+			Week:         s.Week,
+			Tweets:       st.Tweets,
+			Users:        st.Users,
+			Interactions: st.UniqueInteractions,
+		}
+		if st.Users > 0 {
+			row.LWCCShare = float64(s.LWCCUsers) / float64(st.Users)
+		}
+		rows[i] = row
+	}
+	return rows
+}

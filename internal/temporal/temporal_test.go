@@ -1,0 +1,137 @@
+package temporal
+
+import (
+	"testing"
+
+	"graphct/internal/tweets"
+)
+
+func corpus(t *testing.T) []tweets.Tweet {
+	t.Helper()
+	return tweets.Generate(tweets.H1N1Corpus(0.05, 11)) // weeks 36-39
+}
+
+func TestWeeks(t *testing.T) {
+	ts := []tweets.Tweet{{Week: 38}, {Week: 36}, {Week: 38}, {Week: 37}}
+	got := Weeks(ts)
+	if len(got) != 3 || got[0] != 36 || got[2] != 38 {
+		t.Fatalf("Weeks = %v", got)
+	}
+	if Weeks(nil) != nil && len(Weeks(nil)) != 0 {
+		t.Fatal("empty weeks")
+	}
+}
+
+func TestAnalyzeIsolatedWindows(t *testing.T) {
+	ts := corpus(t)
+	snaps := Analyze(ts, Options{TopK: 5, Samples: 64, Seed: 1})
+	if len(snaps) != 4 {
+		t.Fatalf("snapshots = %d, want 4 weeks", len(snaps))
+	}
+	var total int
+	for i, s := range snaps {
+		if s.Week != 36+i {
+			t.Fatalf("weeks out of order: %v", s.Week)
+		}
+		if s.Users.Stats.Tweets == 0 {
+			t.Fatalf("week %d empty", s.Week)
+		}
+		if len(s.TopActors) == 0 || len(s.TopActors) > 5 {
+			t.Fatalf("week %d top actors = %v", s.Week, s.TopActors)
+		}
+		if s.LWCCUsers <= 0 || s.LWCCUsers > s.Users.Stats.Users {
+			t.Fatalf("week %d LWCC = %d of %d", s.Week, s.LWCCUsers, s.Users.Stats.Users)
+		}
+		total += s.Users.Stats.Tweets
+	}
+	if total != len(ts) {
+		t.Fatalf("windows cover %d of %d tweets", total, len(ts))
+	}
+	// The crisis volume model concentrates tweets right after the
+	// outbreak week: week 37 (spike) must exceed week 39 (decay).
+	if snaps[1].Users.Stats.Tweets <= snaps[3].Users.Stats.Tweets {
+		t.Fatalf("no temporal spike: %d vs %d",
+			snaps[1].Users.Stats.Tweets, snaps[3].Users.Stats.Tweets)
+	}
+}
+
+func TestAnalyzeCumulative(t *testing.T) {
+	ts := corpus(t)
+	snaps := Analyze(ts, Options{Cumulative: true, TopK: 5, Samples: 64})
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Users.Stats.Tweets < snaps[i-1].Users.Stats.Tweets {
+			t.Fatal("cumulative windows must be monotone in tweets")
+		}
+		if snaps[i].Users.Stats.Users < snaps[i-1].Users.Stats.Users {
+			t.Fatal("cumulative windows must be monotone in users")
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if last.Users.Stats.Tweets != len(ts) {
+		t.Fatal("final cumulative window must cover the stream")
+	}
+}
+
+func TestTurnover(t *testing.T) {
+	snaps := []Snapshot{
+		{TopActors: []string{"a", "b", "c"}},
+		{TopActors: []string{"a", "b", "d"}},
+		{TopActors: []string{"x", "y", "z"}},
+	}
+	got := Turnover(snaps)
+	if len(got) != 2 {
+		t.Fatalf("turnover = %v", got)
+	}
+	if got[0] < 0.32 || got[0] > 0.34 {
+		t.Fatalf("turnover[0] = %v, want 1/3", got[0])
+	}
+	if got[1] != 1 {
+		t.Fatalf("turnover[1] = %v, want 1", got[1])
+	}
+	if Turnover(snaps[:1]) != nil {
+		t.Fatal("single snapshot should have no turnover")
+	}
+}
+
+func TestTurnoverEmptyWindows(t *testing.T) {
+	got := Turnover([]Snapshot{{}, {}})
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("empty turnover = %v", got)
+	}
+}
+
+func TestTurnoverOnRealStreamIsModerate(t *testing.T) {
+	ts := corpus(t)
+	snaps := Analyze(ts, Options{TopK: 5, Samples: 0}) // exact BC per window
+	tv := Turnover(snaps)
+	if len(tv) != 3 {
+		t.Fatalf("turnover = %v", tv)
+	}
+	// Broadcast hubs persist across weeks, so the elite never fully
+	// churns.
+	for i, v := range tv {
+		if v < 0 || v > 1 {
+			t.Fatalf("turnover out of range: %v", tv)
+		}
+		if v == 1 {
+			t.Fatalf("complete churn at window %d unexpected for hub-dominated stream", i)
+		}
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	ts := corpus(t)
+	snaps := Analyze(ts, Options{TopK: 3, Samples: 32})
+	rows := Growth(snaps)
+	if len(rows) != len(snaps) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Week != snaps[i].Week || r.Users <= 0 || r.Tweets <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+		if r.LWCCShare <= 0 || r.LWCCShare > 1 {
+			t.Fatalf("LWCC share out of range: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package tweets
+
+import (
+	"strings"
+
+	"graphct/internal/graph"
+)
+
+// Bipartite is the paper's alternative representation: "a bipartite graph
+// considering both actors and interactions as vertices and connecting
+// actors with interactions". Actor vertices occupy ids [0, NumActors);
+// interaction vertices (one per tweet that mentions at least one user)
+// follow. Each interaction connects its author and every mentioned user.
+type Bipartite struct {
+	Graph     *graph.Graph // undirected actor-interaction graph
+	Names     []string     // actor id -> handle
+	IDs       map[string]int32
+	TweetIDs  []int64 // interaction vertex offset -> tweet id
+	NumActors int
+}
+
+// BuildBipartite constructs the bipartite actor-interaction graph of a
+// tweet stream. Tweets without mentions produce no interaction vertex
+// (they connect nothing); self mentions connect the author to the
+// interaction once.
+func BuildBipartite(ts []Tweet) *Bipartite {
+	ids := make(map[string]int32)
+	var names []string
+	intern := func(handle string) int32 {
+		h := strings.ToLower(handle)
+		if id, ok := ids[h]; ok {
+			return id
+		}
+		id := int32(len(names))
+		ids[h] = id
+		names = append(names, h)
+		return id
+	}
+	// First pass interns every actor so actor ids precede interactions.
+	type row struct {
+		author  int32
+		targets []int32
+		tweetID int64
+	}
+	var rows []row
+	for _, t := range ts {
+		author := intern(t.Author)
+		mentions := Mentions(t.Text)
+		if len(mentions) == 0 {
+			continue
+		}
+		seen := map[int32]bool{author: true}
+		targets := []int32{}
+		for _, m := range mentions {
+			id := intern(m)
+			if !seen[id] {
+				seen[id] = true
+				targets = append(targets, id)
+			}
+		}
+		rows = append(rows, row{author: author, targets: targets, tweetID: t.ID})
+	}
+	numActors := len(names)
+	var edges []graph.Edge
+	tweetIDs := make([]int64, len(rows))
+	for i, r := range rows {
+		iv := int32(numActors + i)
+		tweetIDs[i] = r.tweetID
+		edges = append(edges, graph.Edge{U: r.author, V: iv})
+		for _, tg := range r.targets {
+			edges = append(edges, graph.Edge{U: tg, V: iv})
+		}
+	}
+	g, err := graph.FromEdges(numActors+len(rows), edges, graph.Options{})
+	if err != nil {
+		panic("tweets: bipartite ids out of range: " + err.Error())
+	}
+	return &Bipartite{Graph: g, Names: names, IDs: ids, TweetIDs: tweetIDs, NumActors: numActors}
+}
+
+// IsActor reports whether vertex v is an actor (vs an interaction).
+func (b *Bipartite) IsActor(v int32) bool { return int(v) < b.NumActors }
+
+// NumInteractions returns the interaction vertex count.
+func (b *Bipartite) NumInteractions() int { return b.Graph.NumVertices() - b.NumActors }
+
+// ProjectActors collapses the bipartite graph onto actors: two actors are
+// connected when they share an interaction (author-mention or
+// co-mention). The result is the undirected actor-actor graph the
+// one-mode representation induces, over the same actor ids.
+func (b *Bipartite) ProjectActors() *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < b.NumInteractions(); i++ {
+		iv := int32(b.NumActors + i)
+		members := b.Graph.Neighbors(iv)
+		for x := 0; x < len(members); x++ {
+			for y := x + 1; y < len(members); y++ {
+				edges = append(edges, graph.Edge{U: members[x], V: members[y]})
+			}
+		}
+	}
+	g, err := graph.FromEdges(b.NumActors, edges, graph.Options{})
+	if err != nil {
+		panic("tweets: projection out of range: " + err.Error())
+	}
+	return g
+}
+
+// InteractionDegree returns, per interaction vertex, how many actors it
+// touches (author plus distinct mentioned users).
+func (b *Bipartite) InteractionDegree() []int {
+	out := make([]int, b.NumInteractions())
+	for i := range out {
+		out[i] = b.Graph.Degree(int32(b.NumActors + i))
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package tweets
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBipartiteBasics(t *testing.T) {
+	ts := []Tweet{
+		{ID: 10, Author: "a", Text: "hello @b and @c"},
+		{ID: 11, Author: "b", Text: "@a right back"},
+		{ID: 12, Author: "c", Text: "no mention here"},
+		{ID: 13, Author: "d", Text: "@d self only"},
+	}
+	b := BuildBipartite(ts)
+	// Actors: a, b, c, d. Interactions: tweets 10, 11, 13 (12 has none).
+	if b.NumActors != 4 {
+		t.Fatalf("actors = %d", b.NumActors)
+	}
+	if b.NumInteractions() != 3 {
+		t.Fatalf("interactions = %d", b.NumInteractions())
+	}
+	if b.TweetIDs[0] != 10 || b.TweetIDs[2] != 13 {
+		t.Fatalf("tweet ids = %v", b.TweetIDs)
+	}
+	// Tweet 10 connects a, b, c.
+	iv := int32(b.NumActors)
+	if b.Graph.Degree(iv) != 3 {
+		t.Fatalf("interaction degree = %d, want 3", b.Graph.Degree(iv))
+	}
+	// Self-only tweet connects just its author.
+	if b.Graph.Degree(int32(b.NumActors+2)) != 1 {
+		t.Fatalf("self interaction degree = %d, want 1", b.Graph.Degree(int32(b.NumActors+2)))
+	}
+	if !b.IsActor(0) || b.IsActor(iv) {
+		t.Fatal("IsActor misclassifies")
+	}
+	if err := b.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBipartiteIsBipartite(t *testing.T) {
+	b := BuildBipartite(Generate(AtlFloodCorpus(0.2, 3)))
+	// No actor-actor or interaction-interaction edges.
+	for v := 0; v < b.Graph.NumVertices(); v++ {
+		va := b.IsActor(int32(v))
+		for _, w := range b.Graph.Neighbors(int32(v)) {
+			if b.IsActor(w) == va {
+				t.Fatalf("same-side edge %d-%d", v, w)
+			}
+		}
+	}
+}
+
+func TestProjectActorsCoversMentions(t *testing.T) {
+	ts := []Tweet{
+		{ID: 1, Author: "a", Text: "@b @c together"},
+	}
+	b := BuildBipartite(ts)
+	p := b.ProjectActors()
+	// Projection connects a-b, a-c (mentions) and b-c (co-mention).
+	ga, _ := b.IDs["a"]
+	gb, _ := b.IDs["b"]
+	gc, _ := b.IDs["c"]
+	if !p.HasEdge(ga, gb) || !p.HasEdge(ga, gc) || !p.HasEdge(gb, gc) {
+		t.Fatal("projection missing edges")
+	}
+	if p.NumEdges() != 3 {
+		t.Fatalf("projection edges = %d", p.NumEdges())
+	}
+}
+
+// Property: the actor projection contains every undirected mention edge
+// the one-mode builder produces.
+func TestPropertyProjectionSupersetOfMentions(t *testing.T) {
+	f := func(seed int64) bool {
+		ts := Generate(AtlFloodCorpus(0.1, seed))
+		ug := Build(ts)
+		bp := BuildBipartite(ts)
+		proj := bp.ProjectActors()
+		und := ug.Graph.Undirected()
+		for v := 0; v < und.NumVertices(); v++ {
+			handle := ug.Names[v]
+			pv, ok := bp.IDs[handle]
+			if !ok {
+				// Users appearing only via mention-less tweets have no
+				// bipartite vertex; they also have no mention edges.
+				if und.Degree(int32(v)) != 0 {
+					return false
+				}
+				continue
+			}
+			for _, w := range und.Neighbors(int32(v)) {
+				pw, ok := bp.IDs[ug.Names[w]]
+				if !ok || !proj.HasEdge(pv, pw) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInteractionDegree(t *testing.T) {
+	b := BuildBipartite([]Tweet{
+		{ID: 1, Author: "a", Text: "@b"},
+		{ID: 2, Author: "a", Text: "@b @c @d"},
+	})
+	deg := b.InteractionDegree()
+	if len(deg) != 2 || deg[0] != 2 || deg[1] != 4 {
+		t.Fatalf("interaction degrees = %v", deg)
+	}
+}
+
+func TestBipartiteEmpty(t *testing.T) {
+	b := BuildBipartite(nil)
+	if b.NumActors != 0 || b.NumInteractions() != 0 {
+		t.Fatal("empty bipartite wrong")
+	}
+	if p := b.ProjectActors(); p.NumVertices() != 0 {
+		t.Fatal("empty projection wrong")
+	}
+}

@@ -1,0 +1,142 @@
+package tweets
+
+import (
+	"sort"
+	"strings"
+
+	"graphct/internal/graph"
+)
+
+// GraphStats summarizes a tweet stream's interaction graph, providing the
+// rows of the paper's Table III.
+type GraphStats struct {
+	Tweets             int   // tweets in the stream
+	TweetsWithMentions int   // tweets that mention at least one user
+	Users              int   // distinct authors plus mentioned users
+	UniqueInteractions int64 // dedup'd directed author->mentioned edges, self loops excluded
+	SelfReferences     int   // tweets whose author mentions themself
+	Retweets           int   // tweets following the RT @ convention
+}
+
+// UserGraph is a tweet stream projected to its user-interaction graph:
+// vertices are users, and a directed edge u->v records that u posted a
+// message mentioning v ("duplicate user interactions are thrown out").
+type UserGraph struct {
+	Graph *graph.Graph // directed mention graph
+	Names []string     // vertex id -> handle
+	IDs   map[string]int32
+	Stats GraphStats
+}
+
+// Build constructs the user-interaction graph of a tweet stream. Handles
+// are case-insensitive. Self mentions are counted in Stats but excluded
+// from the graph (they carry no brokerage information and would perturb
+// the path-based kernels).
+func Build(ts []Tweet) *UserGraph {
+	ids := make(map[string]int32)
+	var names []string
+	intern := func(handle string) int32 {
+		h := strings.ToLower(handle)
+		if id, ok := ids[h]; ok {
+			return id
+		}
+		id := int32(len(names))
+		ids[h] = id
+		names = append(names, h)
+		return id
+	}
+	var edges []graph.Edge
+	st := GraphStats{Tweets: len(ts)}
+	for _, t := range ts {
+		author := intern(t.Author)
+		mentions := Mentions(t.Text)
+		if len(mentions) > 0 {
+			st.TweetsWithMentions++
+		}
+		if IsRetweet(t.Text) {
+			st.Retweets++
+		}
+		self := false
+		for _, m := range mentions {
+			target := intern(m)
+			if target == author {
+				self = true
+				continue
+			}
+			edges = append(edges, graph.Edge{U: author, V: target})
+		}
+		if self {
+			st.SelfReferences++
+		}
+	}
+	g, err := graph.FromEdges(len(names), edges, graph.Options{Directed: true})
+	if err != nil {
+		panic("tweets: interned ids out of range: " + err.Error())
+	}
+	st.Users = len(names)
+	st.UniqueInteractions = g.NumArcs()
+	return &UserGraph{Graph: g, Names: names, IDs: ids, Stats: st}
+}
+
+// Undirected returns the undirected projection used by the path-based
+// kernels.
+func (ug *UserGraph) Undirected() *graph.Graph { return ug.Graph.Undirected() }
+
+// Lookup returns the vertex for a handle (case-insensitive) and whether it
+// exists.
+func (ug *UserGraph) Lookup(handle string) (int32, bool) {
+	id, ok := ug.IDs[strings.ToLower(handle)]
+	return id, ok
+}
+
+// Handles maps a vertex list (e.g. a centrality top-k) back to handles.
+func (ug *UserGraph) Handles(vs []int32) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = ug.Names[v]
+	}
+	return out
+}
+
+// SubgraphStats recomputes Table III's user/interaction counts for a
+// subgraph given the subgraph and its orig-id mapping (e.g. the LWCC):
+// users with any incident edge plus isolated vertices are all counted, as
+// vertices exist only where interactions did.
+func SubgraphStats(sub *graph.Graph) (users int, interactions int64) {
+	return sub.NumVertices(), sub.NumArcs()
+}
+
+// MentionCounts returns, per vertex, how many distinct users it mentions
+// (out-degree) and is mentioned by (in-degree), for the degree analyses.
+func (ug *UserGraph) MentionCounts() (out, in []int64) {
+	n := ug.Graph.NumVertices()
+	out = make([]int64, n)
+	in = make([]int64, n)
+	for v := 0; v < n; v++ {
+		out[v] = int64(ug.Graph.Degree(int32(v)))
+		for _, w := range ug.Graph.Neighbors(int32(v)) {
+			in[w]++
+		}
+	}
+	return out, in
+}
+
+// TopMentioned returns the k most-mentioned handles (by in-degree),
+// the paper's "broadcast vertices" — media and government outlets.
+func (ug *UserGraph) TopMentioned(k int) []string {
+	_, in := ug.MentionCounts()
+	idx := make([]int32, len(in))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if in[idx[a]] != in[idx[b]] {
+			return in[idx[a]] > in[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return ug.Handles(idx[:k])
+}

@@ -1,0 +1,278 @@
+package tweets
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// CorpusOptions parameterizes the synthetic tweet-stream generator that
+// substitutes for the paper's Spinn3r harvests. The mix of message kinds
+// reproduces the structures the paper reports: tree-shaped broadcast
+// (retweets of hub content, occasionally re-broadcast another retweeter),
+// small reciprocal conversations, self references ("echo chamber"), bait
+// spam riding the trending hashtag (removed by FilterSpam, as the paper's
+// non-spam harvests were cleaned), and plain on-topic chatter with no
+// mentions.
+type CorpusOptions struct {
+	Seed   int64
+	Users  int    // size of the ordinary-user pool
+	Hubs   int    // broadcast hubs (media/government analogues)
+	Tweets int    // messages to emit
+	Topic  string // hashtag & keyword woven into the text, e.g. "h1n1"
+
+	RetweetFrac  float64 // broadcast-tree retweets
+	ConvFrac     float64 // conversation replies (reciprocal mentions)
+	SelfFrac     float64 // self-referential updates
+	SpamFrac     float64 // bait spam latching onto the trending topic
+	DeepTreeProb float64 // retweet cites an earlier retweeter instead of the hub
+
+	ConvGroups    int // number of conversation clusters
+	ConvGroupSize int // participants per cluster
+
+	WeekLo, WeekHi int // weeks the stream spans; volumes follow the crisis model
+}
+
+// hubFlavors seed the generated hub handles so top-ranked actors read like
+// the media and government outlets of the paper's Table IV.
+var hubFlavors = []string{
+	"cdcflu", "fluhealthgov", "nationnews", "metro_times", "capitolwire",
+	"channel11news", "citygazette", "stormwatch", "newsradio680", "thedailybeat",
+}
+
+// Generate emits a deterministic synthetic tweet stream.
+func Generate(opt CorpusOptions) []Tweet {
+	if opt.Users < 2 {
+		opt.Users = 2
+	}
+	if opt.Hubs < 1 {
+		opt.Hubs = 1
+	}
+	if opt.ConvGroupSize < 2 {
+		opt.ConvGroupSize = 2
+	}
+	if opt.ConvGroups < 1 {
+		opt.ConvGroups = 1
+	}
+	if opt.WeekHi < opt.WeekLo {
+		opt.WeekHi = opt.WeekLo
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	hubs := make([]string, opt.Hubs)
+	for i := range hubs {
+		if i < len(hubFlavors) {
+			hubs[i] = fmt.Sprintf("%s_%s", hubFlavors[i], opt.Topic)
+		} else {
+			hubs[i] = fmt.Sprintf("outlet%03d_%s", i, opt.Topic)
+		}
+	}
+	users := make([]string, opt.Users)
+	for i := range users {
+		users[i] = fmt.Sprintf("user%06d", i)
+	}
+
+	// Conversation clusters: disjoint groups of ordinary users.
+	groups := make([][]string, opt.ConvGroups)
+	perm := rng.Perm(opt.Users)
+	pi := 0
+	for gi := range groups {
+		grp := make([]string, 0, opt.ConvGroupSize)
+		for len(grp) < opt.ConvGroupSize && pi < len(perm) {
+			grp = append(grp, users[perm[pi]])
+			pi++
+		}
+		if len(grp) < 2 {
+			grp = []string{users[0], users[1%len(users)]}
+		}
+		groups[gi] = grp
+	}
+
+	// Weekly volume weights follow the crisis-attention model.
+	weeks := make([]int, 0, opt.WeekHi-opt.WeekLo+1)
+	weights := make([]float64, 0, cap(weeks))
+	var weightSum float64
+	for wk := opt.WeekLo; wk <= opt.WeekHi; wk++ {
+		weeks = append(weeks, wk)
+		w := ModelVolume(wk, opt.WeekLo)
+		weights = append(weights, w)
+		weightSum += w
+	}
+	pickWeek := func() int {
+		r := rng.Float64() * weightSum
+		for i, w := range weights {
+			if r < w {
+				return weeks[i]
+			}
+			r -= w
+		}
+		return weeks[len(weeks)-1]
+	}
+
+	// Zipf popularity for hubs; authors are drawn mostly uniformly (most
+	// Twitter users appear once — the paper's Table III has more users
+	// than unique interactions) with a small power-user subset supplying
+	// the active tail.
+	zipfHub := rand.NewZipf(rng, 1.5, 1, uint64(opt.Hubs-1+1))
+	activeSet := opt.Users/50 + 1
+	pickAuthor := func() string {
+		if rng.Float64() < 0.25 {
+			return users[rng.Intn(activeSet)]
+		}
+		return users[rng.Intn(opt.Users)]
+	}
+
+	// retweeters[h] tracks who already relayed hub h, enabling deep trees.
+	retweeters := make([][]string, opt.Hubs)
+
+	headlines := []string{
+		"officials issue new guidance on %s",
+		"live updates: %s situation developing",
+		"what you need to know about %s today",
+		"%s: our full report",
+		"breaking: new %s numbers released",
+	}
+	tag := "#" + opt.Topic
+
+	out := make([]Tweet, 0, opt.Tweets)
+	for i := 0; i < opt.Tweets; i++ {
+		t := Tweet{ID: int64(i), Week: pickWeek()}
+		r := rng.Float64()
+		switch {
+		case r < opt.RetweetFrac:
+			h := int(zipfHub.Uint64())
+			if h >= opt.Hubs {
+				h = opt.Hubs - 1
+			}
+			author := pickAuthor()
+			source := hubs[h]
+			if len(retweeters[h]) > 0 && rng.Float64() < opt.DeepTreeProb {
+				source = retweeters[h][rng.Intn(len(retweeters[h]))]
+			}
+			head := fmt.Sprintf(headlines[rng.Intn(len(headlines))], opt.Topic)
+			t.Author = author
+			t.Text = fmt.Sprintf("RT @%s %s %s", source, head, tag)
+			retweeters[h] = append(retweeters[h], author)
+		case r < opt.RetweetFrac+opt.ConvFrac:
+			grp := groups[rng.Intn(len(groups))]
+			a := rng.Intn(len(grp))
+			b := rng.Intn(len(grp) - 1)
+			if b >= a {
+				b++
+			}
+			t.Author = grp[a]
+			t.Text = fmt.Sprintf("@%s i take issue with that point about %s %s", grp[b], opt.Topic, tag)
+		case r < opt.RetweetFrac+opt.ConvFrac+opt.SelfFrac:
+			author := pickAuthor()
+			t.Author = author
+			t.Text = fmt.Sprintf("@%s reminder to self: track %s updates %s", author, opt.Topic, tag)
+		case r < opt.RetweetFrac+opt.ConvFrac+opt.SelfFrac+opt.SpamFrac:
+			// Spam rides the trending hashtag, baits a random victim,
+			// and repeats a template with a link — exactly what the
+			// spam filter keys on.
+			victim := users[rng.Intn(opt.Users)]
+			t.Author = fmt.Sprintf("promo%04d", rng.Intn(200))
+			t.Text = fmt.Sprintf("@%s get free followers now click http://sp.am/%04d %s", victim, rng.Intn(50), tag)
+		default:
+			author := pickAuthor()
+			t.Author = author
+			t.Text = fmt.Sprintf("thinking about %s again today %s", opt.Topic, tag)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Presets approximating the paper's three harvests, scaled by a factor so
+// the full pipeline runs on commodity hardware at scale <= 1 and at paper
+// size with scale = 1.
+
+// H1N1Corpus models the September 2009 influenza keyword harvest
+// (Table III: 46,457 users, 36,886 unique interactions).
+func H1N1Corpus(scale float64, seed int64) CorpusOptions {
+	return CorpusOptions{
+		Seed:          seed,
+		Users:         scaleInt(90000, scale),
+		Hubs:          30,
+		Tweets:        scaleInt(100000, scale),
+		Topic:         "h1n1",
+		RetweetFrac:   0.42,
+		ConvFrac:      0.10,
+		SelfFrac:      0.03,
+		SpamFrac:      0.04,
+		DeepTreeProb:  0.25,
+		ConvGroups:    scaleInt(400, scale),
+		ConvGroupSize: 4,
+		WeekLo:        36,
+		WeekHi:        39,
+	}
+}
+
+// AtlFloodCorpus models the five-day #atlflood harvest
+// (Table III: 2,283 users, 2,774 unique interactions).
+func AtlFloodCorpus(scale float64, seed int64) CorpusOptions {
+	return CorpusOptions{
+		Seed:          seed,
+		Users:         scaleInt(3600, scale),
+		Hubs:          12,
+		Tweets:        scaleInt(6200, scale),
+		Topic:         "atlflood",
+		RetweetFrac:   0.45,
+		ConvFrac:      0.12,
+		SelfFrac:      0.03,
+		SpamFrac:      0.03,
+		DeepTreeProb:  0.2,
+		ConvGroups:    scaleInt(60, scale),
+		ConvGroupSize: 3,
+		WeekLo:        38,
+		WeekHi:        39,
+	}
+}
+
+// Sept1Corpus models the all-public-tweets harvest of 1 September 2009
+// (Table III: 735,465 users, 1,020,671 unique interactions). The default
+// experiment harness runs it scaled down; scale = 1 reproduces paper size.
+func Sept1Corpus(scale float64, seed int64) CorpusOptions {
+	return CorpusOptions{
+		Seed:          seed,
+		Users:         scaleInt(1050000, scale),
+		Hubs:          400,
+		Tweets:        scaleInt(2300000, scale),
+		Topic:         "sept",
+		RetweetFrac:   0.42,
+		ConvFrac:      0.24,
+		SelfFrac:      0.04,
+		SpamFrac:      0.05,
+		DeepTreeProb:  0.3,
+		ConvGroups:    scaleInt(60000, scale),
+		ConvGroupSize: 3,
+		WeekLo:        36,
+		WeekHi:        36,
+	}
+}
+
+func scaleInt(v int, scale float64) int {
+	if scale <= 0 {
+		scale = 1
+	}
+	s := int(float64(v) * scale)
+	if s < 4 {
+		s = 4
+	}
+	return s
+}
+
+// ExampleConversation renders a short conversation thread like the paper's
+// Fig. 1, for the examples and docs.
+func ExampleConversation(topic string) []Tweet {
+	mk := func(id int64, author, text string) Tweet {
+		return Tweet{ID: id, Author: author, Text: text, Week: 38}
+	}
+	return []Tweet{
+		mk(1, "reporter_a", fmt.Sprintf("every yr thousands are affected by %s. this COULD be higher #"+topic, topic)),
+		mk(2, "reporter_a", fmt.Sprintf("@analyst_b asserting that hand-washing advice is all that's being done about %s is just not true", topic)),
+		mk(3, "analyst_b", fmt.Sprintf("RT @reporter_a officials publish new %s guidance <= glad i listened to those tips #%s", topic, strings.ToLower(topic))),
+		mk(4, "reporter_a", fmt.Sprintf("@citizen_c as someone with family at risk i will clearly take issue with that claim about %s", topic)),
+		mk(5, "citizen_c", fmt.Sprintf("@reporter_a fair point, updating my thread on %s now #%s", topic, strings.ToLower(topic))),
+	}
+}

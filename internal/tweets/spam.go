@@ -1,0 +1,102 @@
+package tweets
+
+import "strings"
+
+// The paper's harvests are explicitly "English, non-spam" streams. The
+// synthetic corpus injects bait spam riding the trending hashtag; this
+// filter removes it so the analysis pipelines consume the same clean
+// stream the paper's did. Two signals are combined: bait phrasing with a
+// link, and template reuse (near-identical texts posted many times).
+
+// spamBait are phrases whose co-occurrence with a link marks bait spam.
+var spamBait = []string{"free followers", "click http", "win a free", "work from home"}
+
+// IsLikelySpam flags a single tweet by content: a link plus bait phrasing.
+func IsLikelySpam(text string) bool {
+	lower := strings.ToLower(text)
+	if !strings.Contains(lower, "http://") && !strings.Contains(lower, "https://") {
+		return false
+	}
+	for _, bait := range spamBait {
+		if strings.Contains(lower, bait) {
+			return true
+		}
+	}
+	return false
+}
+
+// FilterSpam removes likely spam from a stream: content-flagged tweets
+// and linked tweets whose normalized template recurs at least dupThreshold
+// times (template spam evades phrase lists but not repetition).
+// dupThreshold <= 0 uses 5.
+func FilterSpam(ts []Tweet, dupThreshold int) []Tweet {
+	if dupThreshold <= 0 {
+		dupThreshold = 5
+	}
+	counts := make(map[string]int)
+	for _, t := range ts {
+		if hasLink(t.Text) {
+			counts[normalizeTemplate(t.Text)]++
+		}
+	}
+	out := make([]Tweet, 0, len(ts))
+	for _, t := range ts {
+		if IsLikelySpam(t.Text) {
+			continue
+		}
+		if hasLink(t.Text) && counts[normalizeTemplate(t.Text)] >= dupThreshold {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func hasLink(text string) bool {
+	lower := strings.ToLower(text)
+	return strings.Contains(lower, "http://") || strings.Contains(lower, "https://")
+}
+
+// normalizeTemplate collapses the variable parts of templated spam:
+// mentions, links and digits are replaced by placeholders so repeated
+// templates hash identically.
+func normalizeTemplate(text string) string {
+	var b strings.Builder
+	b.Grow(len(text))
+	i := 0
+	for i < len(text) {
+		switch {
+		case text[i] == '@':
+			b.WriteByte('@')
+			i++
+			for i < len(text) && isHandleChar(text[i]) {
+				i++
+			}
+		case hasPrefixAt(text, i, "http://"), hasPrefixAt(text, i, "https://"):
+			b.WriteString("URL")
+			for i < len(text) && text[i] != ' ' {
+				i++
+			}
+		case text[i] >= '0' && text[i] <= '9':
+			b.WriteByte('#')
+			for i < len(text) && text[i] >= '0' && text[i] <= '9' {
+				i++
+			}
+		default:
+			b.WriteByte(lowerByte(text[i]))
+			i++
+		}
+	}
+	return b.String()
+}
+
+func hasPrefixAt(s string, i int, prefix string) bool {
+	return len(s)-i >= len(prefix) && strings.EqualFold(s[i:i+len(prefix)], prefix)
+}
+
+func lowerByte(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + 'a' - 'A'
+	}
+	return c
+}

@@ -1,0 +1,51 @@
+package tweets
+
+import "math"
+
+// PaperTableII returns the paper's Table II: English non-spam articles
+// mentioning h1n1/swine flu per week of 2009, weeks 17-24 — the reference
+// series the synthetic volume model is compared against.
+func PaperTableII() (weeks []int, articles []int) {
+	weeks = []int{17, 18, 19, 20, 21, 22, 23, 24}
+	articles = []int{5591, 108038, 61341, 26256, 19224, 37938, 14393, 27502}
+	return weeks, articles
+}
+
+// ModelVolume is the crisis-attention volume model: near-zero chatter
+// before the outbreak week, an explosive spike the week after ("abrupt
+// explosion of social media articles"), exponential decay of attention,
+// and a secondary echo bump as the story re-enters the news cycle. week0
+// anchors the outbreak; the returned value is a relative weight.
+func ModelVolume(week, week0 int) float64 {
+	d := week - week0
+	if d < 0 {
+		return 50
+	}
+	const (
+		spike    = 100000.0
+		decay    = 0.55 // weekly retention of attention
+		echoAt   = 5    // weeks after outbreak the echo bump lands
+		echoAmp  = 0.3  // echo size relative to the original spike
+		baseline = 2000.0
+	)
+	v := baseline
+	if d == 0 {
+		return baseline + spike*0.05 // leading edge: the story breaks mid-week
+	}
+	v += spike * math.Pow(decay, float64(d-1))
+	if d == echoAt {
+		v += spike * echoAmp
+	}
+	return v
+}
+
+// ModelTableII generates the synthetic counterpart of Table II: article
+// counts for weeks 17-24 anchored at outbreak week 17.
+func ModelTableII() (weeks []int, articles []int) {
+	weeks = []int{17, 18, 19, 20, 21, 22, 23, 24}
+	articles = make([]int, len(weeks))
+	for i, wk := range weeks {
+		articles[i] = int(ModelVolume(wk, 17))
+	}
+	return weeks, articles
+}
