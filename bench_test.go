@@ -5,6 +5,10 @@
 package graphct_test
 
 import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"graphct/internal/bc"
@@ -13,6 +17,7 @@ import (
 	"graphct/internal/gen"
 	"graphct/internal/graph"
 	"graphct/internal/rank"
+	"graphct/internal/server"
 	"graphct/internal/stats"
 	"graphct/internal/tweets"
 )
@@ -233,6 +238,50 @@ func BenchmarkDiameterEstimate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		stats.EstimateDiameter(g, 256, 4, int64(i))
 	}
+}
+
+// BenchmarkServerThroughput measures the graphctd serving path against
+// an in-process HTTP server: "cold" requests vary their parameters so
+// every one executes a kernel, "warm" requests repeat one key so all but
+// the first are LRU cache hits. The gap is the serving-path baseline
+// later PRs must beat.
+func BenchmarkServerThroughput(b *testing.B) {
+	g := gen.PreferentialAttachment(2000, 3, 1)
+	n := g.NumVertices()
+	reg := server.NewRegistry()
+	reg.Add("g", g)
+	ts := httptest.NewServer(server.New(reg, server.Config{MaxQueued: 1 << 16}))
+	defer ts.Close()
+	client := ts.Client()
+	fetch := func(b *testing.B, url string) {
+		resp, err := client.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d for %s", resp.StatusCode, url)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// src and depth combine into a never-repeating cache key.
+			fetch(b, fmt.Sprintf("%s/graphs/g/bfs?src=%d&depth=%d", ts.URL, i%n, 2+i/n))
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+	b.Run("warm", func(b *testing.B) {
+		url := ts.URL + "/graphs/g/components"
+		fetch(b, url) // fill the cache outside the timed region
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fetch(b, url)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
 }
 
 func benchName(prefix string, v int) string {

@@ -19,15 +19,31 @@
 //	stats | components | undirected | reciprocal | bfs SRC DEPTH
 //	sssp SRC [=> dist.txt]
 //	compare FILE1 FILE2 TOP_PERCENT
+//
+// Script errors are reported with the file and line of the failing
+// command. Exit codes distinguish failure classes: 2 for parse/usage
+// errors (of the command line or a script command), 1 for runtime
+// failures of well-formed commands (missing graph files, kernel errors).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"graphct/internal/script"
+)
+
+// Exit codes: parse/usage errors and kernel/runtime failures are
+// distinct so driving processes (the paper's "external monitoring
+// process") can tell a broken script from a failed analysis.
+const (
+	exitOK      = 0
+	exitRuntime = 1 // well-formed command failed (I/O, kernel)
+	exitParse   = 2 // flag misuse or script parse/usage error
 )
 
 type lines []string
@@ -36,33 +52,46 @@ func (l *lines) String() string     { return strings.Join(*l, "; ") }
 func (l *lines) Set(s string) error { *l = append(*l, s); return nil }
 
 func main() {
-	seed := flag.Int64("seed", 1, "random seed for sampling kernels")
-	var exprs lines
-	flag.Var(&exprs, "e", "execute one script line (repeatable)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	in := script.New(os.Stdout, "")
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("graphct", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "random seed for sampling kernels")
+	var exprs lines
+	fs.Var(&exprs, "e", "execute one script line (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return exitParse
+	}
+
+	in := script.New(stdout, "")
 	in.SetSeed(*seed)
 
 	if len(exprs) > 0 {
-		if flag.NArg() != 0 {
-			fatal("cannot mix -e lines with a script file")
+		if fs.NArg() != 0 {
+			fmt.Fprintln(stderr, "graphct: cannot mix -e lines with a script file")
+			return exitParse
 		}
-		if err := in.Run(strings.NewReader(strings.Join(exprs, "\n"))); err != nil {
-			fatal(err)
-		}
-		return
+		return report(stderr, in.Run(strings.NewReader(strings.Join(exprs, "\n"))))
 	}
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: graphct [-seed N] SCRIPT | graphct -e LINE [-e LINE...]")
-		os.Exit(2)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: graphct [-seed N] SCRIPT | graphct -e LINE [-e LINE...]")
+		return exitParse
 	}
-	if err := in.RunFile(flag.Arg(0)); err != nil {
-		fatal(err)
-	}
+	return report(stderr, in.RunFile(fs.Arg(0)))
 }
 
-func fatal(v any) {
-	fmt.Fprintln(os.Stderr, "graphct:", v)
-	os.Exit(1)
+// report prints err (already carrying file:line provenance from the
+// interpreter) and maps it to an exit code.
+func report(stderr io.Writer, err error) int {
+	if err == nil {
+		return exitOK
+	}
+	fmt.Fprintln(stderr, "graphct:", err)
+	var se *script.Error
+	if errors.As(err, &se) && se.Parse {
+		return exitParse
+	}
+	return exitRuntime
 }

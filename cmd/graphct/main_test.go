@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphct/internal/dimacs"
+	"graphct/internal/gen"
+)
+
+func writeGraph(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "g.dimacs")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dimacs.Write(f, gen.Complete(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeScript(t *testing.T, dir, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, "test.gct")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunScriptOK(t *testing.T) {
+	dir := t.TempDir()
+	writeGraph(t, dir)
+	script := writeScript(t, dir, "read dimacs g.dimacs\nprint degrees\n")
+	var out, errOut bytes.Buffer
+	if code := run([]string{script}, &out, &errOut); code != exitOK {
+		t.Fatalf("exit %d, stderr %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "degrees:") {
+		t.Fatalf("missing kernel output: %s", out.String())
+	}
+}
+
+// TestParseErrorProvenanceAndCode checks a malformed script command
+// reports file:line and exits with the parse code.
+func TestParseErrorProvenanceAndCode(t *testing.T) {
+	dir := t.TempDir()
+	writeGraph(t, dir)
+	script := writeScript(t, dir, "read dimacs g.dimacs\nfrobnicate 7\n")
+	var out, errOut bytes.Buffer
+	if code := run([]string{script}, &out, &errOut); code != exitParse {
+		t.Fatalf("exit %d, want %d (parse)", code, exitParse)
+	}
+	if msg := errOut.String(); !strings.Contains(msg, script+":2:") || !strings.Contains(msg, "unknown command") {
+		t.Fatalf("stderr lacks file:line provenance: %s", msg)
+	}
+}
+
+// TestRuntimeErrorCode checks a well-formed command that fails (missing
+// graph file) exits with the runtime code, distinct from parse errors.
+func TestRuntimeErrorCode(t *testing.T) {
+	dir := t.TempDir()
+	script := writeScript(t, dir, "read dimacs missing.dimacs\n")
+	var out, errOut bytes.Buffer
+	if code := run([]string{script}, &out, &errOut); code != exitRuntime {
+		t.Fatalf("exit %d, want %d (runtime)", code, exitRuntime)
+	}
+	if msg := errOut.String(); !strings.Contains(msg, script+":1:") {
+		t.Fatalf("stderr lacks file:line provenance: %s", msg)
+	}
+}
+
+func TestInlineExprErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-e", "components"}, &out, &errOut); code != exitParse {
+		t.Fatalf("kernel before read: exit %d, want %d", code, exitParse)
+	}
+	if !strings.Contains(errOut.String(), "script line 1") {
+		t.Fatalf("stderr lacks line provenance: %s", errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"-e", "print degrees", "extra.gct"}, &out, &errOut); code != exitParse {
+		t.Fatalf("mixing -e with file: exit %d, want %d", code, exitParse)
+	}
+	errOut.Reset()
+	if code := run([]string{}, &out, &errOut); code != exitParse {
+		t.Fatalf("no args: exit %d, want %d", code, exitParse)
+	}
+}

@@ -1,0 +1,118 @@
+// Command graphctd is GraphCT's long-running analysis daemon: it holds a
+// registry of named in-memory CSR graphs and serves the toolkit's kernels
+// as HTTP JSON endpoints, amortizing one expensive ingest across many
+// clients and many kernel invocations. The serving path caches results,
+// coalesces identical concurrent requests and applies admission control;
+// see internal/server.
+//
+// Usage:
+//
+//	graphctd [-addr :8423] [-graph NAME=FORMAT:PATH]... [flags]
+//
+// Endpoints:
+//
+//	GET    /healthz
+//	GET    /metrics
+//	GET    /graphs
+//	POST   /graphs                     {"name","format","path","directed"}
+//	DELETE /graphs/{name}
+//	POST   /graphs/{name}/extract      {"component":N,"as":"newname"}
+//	GET    /graphs/{name}/components
+//	GET    /graphs/{name}/stats
+//	GET    /graphs/{name}/degrees
+//	GET    /graphs/{name}/clustering
+//	GET    /graphs/{name}/diameter
+//	GET    /graphs/{name}/kcores?k=K
+//	GET    /graphs/{name}/kcentrality?k=K&samples=S&top=N
+//	GET    /graphs/{name}/bfs?src=V&depth=D
+//	GET    /graphs/{name}/sssp?src=V
+//
+// Kernel endpoints accept ?timeout_ms=N for a per-request deadline. On
+// SIGINT/SIGTERM the daemon stops accepting connections and drains
+// in-flight kernels before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"graphct/internal/server"
+)
+
+type graphFlags []string
+
+func (g *graphFlags) String() string     { return strings.Join(*g, ", ") }
+func (g *graphFlags) Set(s string) error { *g = append(*g, s); return nil }
+
+func main() {
+	addr := flag.String("addr", ":8423", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", 2, "kernels executing at once")
+	maxQueued := flag.Int("max-queued", 16, "kernel requests waiting for a slot before 429")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result cache bound in bytes (<0 disables)")
+	timeout := flag.Duration("timeout", 0, "default per-request kernel deadline (0 = none)")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight kernels")
+	seed := flag.Int64("seed", 1, "random seed for sampling kernels")
+	directed := flag.Bool("directed", false, "load -graph files as directed")
+	var graphs graphFlags
+	flag.Var(&graphs, "graph", "preload NAME=FORMAT:PATH (formats: dimacs, edgelist, binary; repeatable)")
+	flag.Parse()
+
+	reg := server.NewRegistry()
+	for _, spec := range graphs {
+		name, rest, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("graphctd: bad -graph %q (want NAME=FORMAT:PATH)", spec)
+		}
+		format, path, ok := strings.Cut(rest, ":")
+		if !ok {
+			log.Fatalf("graphctd: bad -graph %q (want NAME=FORMAT:PATH)", spec)
+		}
+		start := time.Now()
+		e, err := reg.Load(name, format, path, *directed)
+		if err != nil {
+			log.Fatalf("graphctd: %v", err)
+		}
+		log.Printf("loaded %q: %d vertices, %d edges in %v",
+			name, e.Graph.NumVertices(), e.Graph.NumEdges(), time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := server.New(reg, server.Config{
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueued:      *maxQueued,
+		CacheBytes:     *cacheBytes,
+		DefaultTimeout: *timeout,
+		Seed:           *seed,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("graphctd listening on %s (%d graphs)", *addr, len(reg.List()))
+
+	select {
+	case err := <-errc:
+		log.Fatalf("graphctd: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, then drain in-flight kernels.
+	log.Printf("graphctd: draining (budget %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "graphctd: forced shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("graphctd: drained cleanly")
+}

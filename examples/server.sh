@@ -1,0 +1,28 @@
+#!/bin/sh
+# Demonstrates graphctd's request coalescing and result cache: 16
+# parallel clients fire the same expensive k-centrality request; the
+# server runs the kernel once and every client shares the result. A
+# follow-up call hits the cache. Run from the repository root.
+set -eu
+
+ADDR="127.0.0.1:8423"
+BIN="$(mktemp -d)/graphctd"
+
+go build -o "$BIN" ./cmd/graphctd
+"$BIN" -addr "$ADDR" -graph sample=dimacs:testdata/sample.dimacs &
+DAEMON=$!
+trap 'kill $DAEMON 2>/dev/null || true' EXIT
+sleep 1
+
+echo "== 16 identical concurrent requests (xargs -P 16) =="
+seq 16 | xargs -P 16 -I{} \
+  curl -s -o /dev/null -w '%{http_code} source=%header{x-graphct-source}\n' \
+  "http://$ADDR/graphs/sample/kcentrality?k=2&samples=6" | sort | uniq -c
+
+echo "== follow-up call =="
+curl -s -o /dev/null -w 'source=%header{x-graphct-source}\n' \
+  "http://$ADDR/graphs/sample/kcentrality?k=2&samples=6"
+
+echo "== metrics: kernel_runs.kcentrality should be 1 =="
+curl -s "http://$ADDR/metrics"
+echo

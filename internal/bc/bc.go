@@ -12,6 +12,7 @@
 package bc
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -68,6 +69,20 @@ func Approx(g *graph.Graph, samples int, seed int64) *Result {
 
 // Centrality computes (k-)betweenness centrality per opt.
 func Centrality(g *graph.Graph, opt Options) *Result {
+	r, err := CentralityCtx(context.Background(), g, opt)
+	if err != nil {
+		// Unreachable: the background context never cancels and source
+		// tasks produce no other errors.
+		panic("bc: source task failed: " + err.Error())
+	}
+	return r
+}
+
+// CentralityCtx computes (k-)betweenness centrality per opt, observing
+// cooperative cancellation between source computations — the coarse loop
+// is the kernel's natural checkpoint granularity. A cancelled context
+// returns ctx.Err() with no result.
+func CentralityCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
 	if opt.K < 0 || opt.K > MaxK {
 		panic(fmt.Sprintf("bc: k = %d outside supported range [0, %d]", opt.K, MaxK))
 	}
@@ -90,8 +105,14 @@ func Centrality(g *graph.Graph, opt Options) *Result {
 	grp := par.NewGroup(limit)
 	var pool sync.Pool
 	for _, s := range sources {
+		if ctx.Err() != nil {
+			break // stop scheduling; in-flight sources finish
+		}
 		s := s
 		grp.Go(func() error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			ws, _ := pool.Get().(*workspace)
 			if ws == nil || ws.n != n || ws.k != opt.K {
 				ws = newWorkspace(n, opt.K)
@@ -106,11 +127,14 @@ func Centrality(g *graph.Graph, opt Options) *Result {
 		})
 	}
 	if err := grp.Wait(); err != nil {
-		panic("bc: source task failed: " + err.Error())
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	out := make([]float64, n)
 	par.For(n, func(v int) { out[v] = par.LoadFloat64(&scores[v]) })
-	return &Result{Scores: out, Sources: sources, K: opt.K}
+	return &Result{Scores: out, Sources: sources, K: opt.K}, nil
 }
 
 // sampleSources returns the source set: all vertices when samples is out of

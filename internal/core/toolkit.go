@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"graphct/internal/bc"
@@ -140,6 +141,21 @@ func (t *Toolkit) Diameter() stats.DiameterEstimate {
 	return t.diam
 }
 
+// DiameterCtx is Diameter with cooperative cancellation for long-running
+// service requests; the estimate is cached only on success.
+func (t *Toolkit) DiameterCtx(ctx context.Context) (stats.DiameterEstimate, error) {
+	if t.diamSet {
+		return t.diam, nil
+	}
+	d, err := stats.EstimateDiameterCtx(ctx, t.g, t.diamSrc, t.diamMult, t.seed)
+	if err != nil {
+		return stats.DiameterEstimate{}, err
+	}
+	t.diam = d
+	t.diamSet = true
+	return d, nil
+}
+
 // Save pushes the current graph onto the stack.
 func (t *Toolkit) Save() {
 	t.stack = append(t.stack, frame{g: t.g, origIDs: t.origIDs, diam: t.diam, diamSet: t.diamSet, comps: t.comps})
@@ -213,6 +229,12 @@ func (t *Toolkit) KCentrality(k, samples int) *bc.Result {
 	return bc.Centrality(t.g, bc.Options{K: k, Samples: samples, Seed: t.seed})
 }
 
+// KCentralityCtx is KCentrality with cooperative cancellation, checked
+// between per-source computations.
+func (t *Toolkit) KCentralityCtx(ctx context.Context, k, samples int) (*bc.Result, error) {
+	return bc.CentralityCtx(ctx, t.g, bc.Options{K: k, Samples: samples, Seed: t.seed})
+}
+
 // BetweennessExact computes exact betweenness centrality.
 func (t *Toolkit) BetweennessExact() *bc.Result { return bc.Exact(t.g) }
 
@@ -247,6 +269,12 @@ func (t *Toolkit) BFS(src int32, depth int) *bfs.Result {
 // unit weights.
 func (t *Toolkit) SSSP(src int32) (*sssp.Result, error) {
 	return sssp.DeltaStepping(t.g, src, 0)
+}
+
+// SSSPCtx is SSSP with cooperative cancellation, checked between
+// relaxation rounds.
+func (t *Toolkit) SSSPCtx(ctx context.Context, src int32) (*sssp.Result, error) {
+	return sssp.DeltaSteppingCtx(ctx, t.g, src, 0)
 }
 
 // SaveBinary writes the current graph to a binary CSR file.

@@ -10,6 +10,7 @@ package script
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -25,11 +26,44 @@ import (
 	"graphct/internal/stats"
 )
 
+// Error annotates a script failure with its provenance — the script file
+// (when known), the 1-based line of the failing command, and whether the
+// failure was a parse/usage error or a runtime (kernel or I/O) failure —
+// so drivers can report "file:line" and exit with distinct codes.
+type Error struct {
+	Path  string // script file; "" for inline input
+	Line  int
+	Parse bool // command could not be parsed vs failed while running
+	Err   error
+}
+
+func (e *Error) Error() string {
+	if e.Path != "" {
+		return fmt.Sprintf("%s:%d: %v", e.Path, e.Line, e.Err)
+	}
+	return fmt.Sprintf("script line %d: %v", e.Line, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// parseError marks usage and argument errors so Run can classify them.
+type parseError struct{ error }
+
+func (p parseError) Unwrap() error { return p.error }
+
+// parseErrf builds a parse-class error; command handlers use it for
+// anything wrong with the command text itself (unknown commands, bad
+// usage, malformed arguments) as opposed to failures of valid commands.
+func parseErrf(format string, args ...any) error {
+	return parseError{fmt.Errorf(format, args...)}
+}
+
 // Interp executes GraphCT scripts.
 type Interp struct {
 	tk   *core.Toolkit
 	out  io.Writer
 	dir  string // base for relative file paths
+	file string // script path for error provenance ("" when inline)
 	seed int64
 	line int
 }
@@ -46,7 +80,8 @@ func (in *Interp) SetSeed(seed int64) { in.seed = seed }
 // Toolkit exposes the current toolkit (nil before any read command).
 func (in *Interp) Toolkit() *core.Toolkit { return in.tk }
 
-// Run executes a script line by line, stopping at the first error.
+// Run executes a script line by line, stopping at the first error, which
+// is returned as a *Error annotated with the failing line.
 func (in *Interp) Run(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -54,13 +89,15 @@ func (in *Interp) Run(r io.Reader) error {
 	for sc.Scan() {
 		in.line++
 		if err := in.Exec(sc.Text()); err != nil {
-			return fmt.Errorf("script line %d: %w", in.line, err)
+			var pe parseError
+			return &Error{Path: in.file, Line: in.line, Parse: errors.As(err, &pe), Err: err}
 		}
 	}
 	return sc.Err()
 }
 
-// RunFile executes the script in the named file.
+// RunFile executes the script in the named file; errors carry the file
+// name and line of the failing command.
 func (in *Interp) RunFile(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -70,6 +107,7 @@ func (in *Interp) RunFile(path string) error {
 	if in.dir == "" {
 		in.dir = filepath.Dir(path)
 	}
+	in.file = path
 	return in.Run(f)
 }
 
@@ -77,18 +115,29 @@ func (in *Interp) RunFile(path string) error {
 func (in *Interp) Exec(line string) error {
 	// Split off the "=> file" redirection first.
 	redirect := ""
+	hasRedirect := false
 	if idx := strings.Index(line, "=>"); idx >= 0 {
+		hasRedirect = true
 		redirect = strings.TrimSpace(line[idx+2:])
 		line = line[:idx]
 	}
 	fields := strings.Fields(line)
-	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+	if len(fields) > 0 && strings.HasPrefix(fields[0], "#") {
+		return nil
+	}
+	if hasRedirect && redirect == "" {
+		return parseErrf("missing file after \"=>\"")
+	}
+	if len(fields) == 0 {
+		if hasRedirect {
+			return parseErrf("\"=>\" redirect without a command")
+		}
 		return nil
 	}
 	cmd := strings.ToLower(fields[0])
 	args := fields[1:]
 	if cmd != "read" && cmd != "compare" && in.tk == nil {
-		return fmt.Errorf("no graph loaded (missing read command)")
+		return parseErrf("no graph loaded (missing read command)")
 	}
 	switch cmd {
 	case "read":
@@ -124,7 +173,7 @@ func (in *Interp) Exec(line string) error {
 	case "sssp":
 		return in.cmdSSSP(args, redirect)
 	default:
-		return fmt.Errorf("unknown command %q", cmd)
+		return parseErrf("unknown command %q", cmd)
 	}
 }
 
@@ -132,11 +181,11 @@ func (in *Interp) Exec(line string) error {
 // "=> file" writes per-vertex distances (-1 for unreachable).
 func (in *Interp) cmdSSSP(args []string, redirect string) error {
 	if len(args) != 1 {
-		return fmt.Errorf("usage: sssp SOURCE [=> dist.txt]")
+		return parseErrf("usage: sssp SOURCE [=> dist.txt]")
 	}
 	src, err := strconv.Atoi(args[0])
 	if err != nil || src < 0 || src >= in.tk.Graph().NumVertices() {
-		return fmt.Errorf("bad source %q", args[0])
+		return parseErrf("bad source %q", args[0])
 	}
 	res, err := in.tk.SSSP(int32(src))
 	if err != nil {
@@ -185,11 +234,11 @@ func (in *Interp) cmdStats() error {
 // Hamming comparison).
 func (in *Interp) cmdCompare(args []string) error {
 	if len(args) != 3 {
-		return fmt.Errorf("usage: compare FILE1 FILE2 TOP_PERCENT")
+		return parseErrf("usage: compare FILE1 FILE2 TOP_PERCENT")
 	}
 	pct, err := strconv.ParseFloat(args[2], 64)
 	if err != nil || pct <= 0 || pct > 100 {
-		return fmt.Errorf("bad top percent %q", args[2])
+		return parseErrf("bad top percent %q", args[2])
 	}
 	a, err := readScores(in.path(args[0]))
 	if err != nil {
@@ -259,7 +308,7 @@ func (in *Interp) path(p string) string {
 
 func (in *Interp) cmdRead(args []string) error {
 	if len(args) != 2 {
-		return fmt.Errorf("usage: read dimacs|binary FILE")
+		return parseErrf("usage: read dimacs|binary FILE")
 	}
 	kind, file := strings.ToLower(args[0]), in.path(args[1])
 	var err error
@@ -271,7 +320,7 @@ func (in *Interp) cmdRead(args []string) error {
 	case "binary":
 		in.tk, err = core.LoadBinary(file, core.WithSeed(in.seed))
 	default:
-		return fmt.Errorf("unknown graph format %q", kind)
+		return parseErrf("unknown graph format %q", kind)
 	}
 	if err != nil {
 		return err
@@ -283,7 +332,7 @@ func (in *Interp) cmdRead(args []string) error {
 
 func (in *Interp) cmdPrint(args []string, redirect string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: print diameter|degrees|components [...]")
+		return parseErrf("usage: print diameter|degrees|components [...]")
 	}
 	switch strings.ToLower(args[0]) {
 	case "diameter":
@@ -293,7 +342,7 @@ func (in *Interp) cmdPrint(args []string, redirect string) error {
 		if len(args) >= 2 {
 			pct, err := strconv.Atoi(args[1])
 			if err != nil || pct <= 0 || pct > 100 {
-				return fmt.Errorf("bad diameter sample percent %q", args[1])
+				return parseErrf("bad diameter sample percent %q", args[1])
 			}
 			n := in.tk.Graph().NumVertices()
 			samples := n * pct / 100
@@ -310,7 +359,7 @@ func (in *Interp) cmdPrint(args []string, redirect string) error {
 	case "components":
 		return in.cmdComponents()
 	default:
-		return fmt.Errorf("unknown print target %q", args[0])
+		return parseErrf("unknown print target %q", args[0])
 	}
 	_ = redirect
 	return nil
@@ -318,7 +367,7 @@ func (in *Interp) cmdPrint(args []string, redirect string) error {
 
 func (in *Interp) cmdSave(args []string) error {
 	if len(args) != 1 || strings.ToLower(args[0]) != "graph" {
-		return fmt.Errorf("usage: save graph")
+		return parseErrf("usage: save graph")
 	}
 	in.tk.Save()
 	return nil
@@ -326,18 +375,18 @@ func (in *Interp) cmdSave(args []string) error {
 
 func (in *Interp) cmdRestore(args []string) error {
 	if len(args) != 1 || strings.ToLower(args[0]) != "graph" {
-		return fmt.Errorf("usage: restore graph")
+		return parseErrf("usage: restore graph")
 	}
 	return in.tk.Restore()
 }
 
 func (in *Interp) cmdExtract(args []string, redirect string) error {
 	if len(args) != 2 || strings.ToLower(args[0]) != "component" {
-		return fmt.Errorf("usage: extract component N [=> file.bin]")
+		return parseErrf("usage: extract component N [=> file.bin]")
 	}
 	rank, err := strconv.Atoi(args[1])
 	if err != nil {
-		return fmt.Errorf("bad component rank %q", args[1])
+		return parseErrf("bad component rank %q", args[1])
 	}
 	if err := in.tk.ExtractComponent(rank); err != nil {
 		return err
@@ -352,15 +401,15 @@ func (in *Interp) cmdExtract(args []string, redirect string) error {
 
 func (in *Interp) cmdKCentrality(args []string, redirect string) error {
 	if len(args) != 2 {
-		return fmt.Errorf("usage: kcentrality K SAMPLES [=> file]")
+		return parseErrf("usage: kcentrality K SAMPLES [=> file]")
 	}
 	k, err := strconv.Atoi(args[0])
 	if err != nil || k < 0 || k > bc.MaxK {
-		return fmt.Errorf("bad k %q (supported range 0..%d)", args[0], bc.MaxK)
+		return parseErrf("bad k %q (supported range 0..%d)", args[0], bc.MaxK)
 	}
 	samples, err := strconv.Atoi(args[1])
 	if err != nil {
-		return fmt.Errorf("bad sample count %q", args[1])
+		return parseErrf("bad sample count %q", args[1])
 	}
 	res := in.tk.KCentrality(k, samples)
 	if redirect != "" {
@@ -389,11 +438,11 @@ func (in *Interp) cmdComponents() error {
 
 func (in *Interp) cmdKCores(args []string) error {
 	if len(args) != 1 {
-		return fmt.Errorf("usage: kcores K")
+		return parseErrf("usage: kcores K")
 	}
 	k, err := strconv.Atoi(args[0])
 	if err != nil || k < 0 {
-		return fmt.Errorf("bad core level %q", args[0])
+		return parseErrf("bad core level %q", args[0])
 	}
 	in.tk.KCores(int32(k))
 	g := in.tk.Graph()
@@ -412,15 +461,15 @@ func (in *Interp) cmdClustering(redirect string) error {
 
 func (in *Interp) cmdBFS(args []string) error {
 	if len(args) != 2 {
-		return fmt.Errorf("usage: bfs SOURCE DEPTH")
+		return parseErrf("usage: bfs SOURCE DEPTH")
 	}
 	src, err := strconv.Atoi(args[0])
 	if err != nil || src < 0 || src >= in.tk.Graph().NumVertices() {
-		return fmt.Errorf("bad source %q", args[0])
+		return parseErrf("bad source %q", args[0])
 	}
 	depth, err := strconv.Atoi(args[1])
 	if err != nil {
-		return fmt.Errorf("bad depth %q", args[1])
+		return parseErrf("bad depth %q", args[1])
 	}
 	r := in.tk.BFS(int32(src), depth)
 	fmt.Fprintf(in.out, "bfs from %d: reached %d vertices, depth %d\n", src, r.NumReached(), r.Depth)

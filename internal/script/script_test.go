@@ -2,6 +2,7 @@ package script
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -458,5 +459,100 @@ func TestSeedPropagation(t *testing.T) {
 	}
 	if out1.String() != out2.String() {
 		t.Fatal("same seed gave different sampled output")
+	}
+}
+
+// classify runs src and returns the annotated *Error, failing the test if
+// the script succeeded or the error is not a *Error.
+func classify(t *testing.T, dir, src string) *Error {
+	t.Helper()
+	_, err := run(t, dir, src)
+	if err == nil {
+		t.Fatalf("no error for %q", src)
+	}
+	var se *Error
+	if !errors.As(err, &se) {
+		t.Fatalf("error for %q is %T, want *Error: %v", src, err, err)
+	}
+	return se
+}
+
+// TestErrorClassification pins the parse vs runtime split drivers rely
+// on for exit codes.
+func TestErrorClassification(t *testing.T) {
+	dir := t.TempDir()
+	writeTestGraph(t, dir)
+	parse := []string{
+		"frobnicate\n", // unknown command
+		"components\n", // kernel before any read
+		"read dimacs test.dimacs\nkcentrality 9 1\n",    // k outside range
+		"read dimacs test.dimacs\nbfs 0\n",              // missing argument
+		"read dimacs test.dimacs\nkcentrality 0 0 =>\n", // redirect without file
+		"read dimacs test.dimacs\n=> out.txt\n",         // redirect without command
+	}
+	for _, src := range parse {
+		if se := classify(t, dir, src); !se.Parse {
+			t.Errorf("%q classified as runtime, want parse: %v", src, se)
+		}
+	}
+	runtime := []string{
+		"read dimacs missing.dimacs\n",                     // file does not exist
+		"read dimacs test.dimacs\nextract component 99\n",  // rank out of range
+		"read dimacs test.dimacs\nrestore graph\n",         // empty stack
+		"read dimacs test.dimacs\ncompare a.txt b.txt 5\n", // missing score files
+	}
+	for _, src := range runtime {
+		if se := classify(t, dir, src); se.Parse {
+			t.Errorf("%q classified as parse, want runtime: %v", src, se)
+		}
+	}
+}
+
+// TestMalformedRedirects covers the "=>" error paths: a redirect needs
+// both a command and a target.
+func TestMalformedRedirects(t *testing.T) {
+	dir := t.TempDir()
+	writeTestGraph(t, dir)
+	for _, src := range []string{
+		"read dimacs test.dimacs\nclustering =>\n",
+		"read dimacs test.dimacs\nclustering =>   \n",
+		"read dimacs test.dimacs\n=> scores.txt\n",
+	} {
+		if _, err := run(t, dir, src); err == nil {
+			t.Errorf("malformed redirect accepted: %q", src)
+		}
+	}
+	// Comments containing "=>" stay comments.
+	if _, err := run(t, dir, "read dimacs test.dimacs\n# a comment => not a redirect\n"); err != nil {
+		t.Errorf("comment with => rejected: %v", err)
+	}
+}
+
+// TestKernelBeforeReadMentionsRead pins the guidance in the error text.
+func TestKernelBeforeReadMentionsRead(t *testing.T) {
+	for _, src := range []string{"components\n", "stats\n", "kcores 2\n", "sssp 0\n"} {
+		_, err := run(t, t.TempDir(), src)
+		if err == nil || !strings.Contains(err.Error(), "missing read command") {
+			t.Errorf("%q: err = %v, want mention of missing read", src, err)
+		}
+	}
+}
+
+// TestRunFileErrorProvenance checks errors from RunFile carry file:line.
+func TestRunFileErrorProvenance(t *testing.T) {
+	dir := t.TempDir()
+	writeTestGraph(t, dir)
+	path := filepath.Join(dir, "bad.gct")
+	if err := os.WriteFile(path, []byte("read dimacs test.dimacs\nnonsense\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := New(&bytes.Buffer{}, "")
+	err := in.RunFile(path)
+	if err == nil || !strings.Contains(err.Error(), path+":2:") {
+		t.Fatalf("err = %v, want %s:2: prefix", err, path)
+	}
+	var se *Error
+	if !errors.As(err, &se) || !se.Parse || se.Line != 2 || se.Path != path {
+		t.Fatalf("annotation = %+v", se)
 	}
 }

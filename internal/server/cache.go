@@ -1,0 +1,91 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a byte-bounded LRU over marshaled kernel results. Keys embed
+// the graph's epoch (see Registry), so a reloaded graph never serves
+// stale results — its old entries simply stop being referenced and age
+// out. Values are the exact response bytes, so a hit costs one map
+// lookup plus a write to the socket.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	curBytes int64
+	order    *list.List // front = most recently used
+	entries  map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache returns a cache evicting least-recently-used entries once the
+// stored values exceed maxBytes. maxBytes <= 0 disables caching (every
+// Get misses, Put is a no-op), which keeps the serving path uniform.
+func NewCache(maxBytes int64) *Cache {
+	return &Cache{
+		maxBytes: maxBytes,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached bytes for key, marking the entry most recently
+// used.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores val under key, evicting LRU entries to stay under the byte
+// bound. Values larger than the whole bound are not cached at all.
+func (c *Cache) Put(key string, val []byte) {
+	if c.maxBytes <= 0 || int64(len(val)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.curBytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		c.order.MoveToFront(el)
+	} else {
+		c.entries[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+		c.curBytes += int64(len(val))
+	}
+	for c.curBytes > c.maxBytes {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.entries, e.key)
+		c.curBytes -= int64(len(e.val))
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns the total size of cached values.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.curBytes
+}

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (exclusive) of the per-kernel
+// latency histogram, in milliseconds, growing roughly geometrically from
+// sub-millisecond cache-adjacent work to multi-minute centrality runs.
+// The final implicit bucket is +Inf.
+var latencyBuckets = [...]int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
+
+// Histogram counts observations into fixed log-spaced millisecond
+// buckets. All methods are safe for concurrent use.
+type Histogram struct {
+	counts [len(latencyBuckets) + 1]atomic.Int64
+	sumMs  atomic.Int64
+	n      atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	ms := d.Milliseconds()
+	i := 0
+	for i < len(latencyBuckets) && ms >= latencyBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumMs.Add(ms)
+	h.n.Add(1)
+}
+
+// HistogramSnapshot is the JSON form of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	SumMs   int64            `json:"sum_ms"`
+	Buckets map[string]int64 `json:"buckets,omitempty"` // upper-bound ms -> count, only non-zero
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.n.Load(), SumMs: h.sumMs.Load(), Buckets: make(map[string]int64)}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if i < len(latencyBuckets) {
+			s.Buckets[msLabel(latencyBuckets[i])] = c
+		} else {
+			s.Buckets["+Inf"] = c
+		}
+	}
+	return s
+}
+
+func msLabel(ms int64) string {
+	// strconv-free small formatter keeps this file self-contained.
+	if ms == 0 {
+		return "0ms"
+	}
+	var buf [24]byte
+	i := len(buf)
+	for v := ms; v > 0; v /= 10 {
+		i--
+		buf[i] = byte('0' + v%10)
+	}
+	return string(buf[i:]) + "ms"
+}
+
+// Metrics aggregates the serving-path counters exposed at /metrics.
+type Metrics struct {
+	Requests  atomic.Int64 // kernel requests accepted into the serving path
+	CacheHits atomic.Int64
+	CacheMiss atomic.Int64
+	Coalesced atomic.Int64 // requests satisfied by another caller's run
+	Rejected  atomic.Int64 // 429s from the admission queue
+	Canceled  atomic.Int64 // kernels stopped by deadline/cancellation
+
+	mu         sync.Mutex
+	kernelRuns map[string]*atomic.Int64
+	latency    map[string]*Histogram
+}
+
+// NewMetrics returns zeroed metrics.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		kernelRuns: make(map[string]*atomic.Int64),
+		latency:    make(map[string]*Histogram),
+	}
+}
+
+// KernelStarted counts one underlying execution of kernel (cache hits and
+// coalesced requests do not count).
+func (m *Metrics) KernelStarted(kernel string) {
+	m.runsCounter(kernel).Add(1)
+}
+
+// KernelRuns returns how many times kernel actually executed.
+func (m *Metrics) KernelRuns(kernel string) int64 {
+	return m.runsCounter(kernel).Load()
+}
+
+func (m *Metrics) runsCounter(kernel string) *atomic.Int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.kernelRuns[kernel]
+	if !ok {
+		c = new(atomic.Int64)
+		m.kernelRuns[kernel] = c
+	}
+	return c
+}
+
+// ObserveLatency records one end-to-end kernel execution latency.
+func (m *Metrics) ObserveLatency(kernel string, d time.Duration) {
+	m.mu.Lock()
+	h, ok := m.latency[kernel]
+	if !ok {
+		h = new(Histogram)
+		m.latency[kernel] = h
+	}
+	m.mu.Unlock()
+	h.Observe(d)
+}
+
+// MetricsSnapshot is the JSON document served at /metrics.
+type MetricsSnapshot struct {
+	Requests   int64                        `json:"requests"`
+	CacheHits  int64                        `json:"cache_hits"`
+	CacheMiss  int64                        `json:"cache_misses"`
+	Coalesced  int64                        `json:"coalesced"`
+	Rejected   int64                        `json:"rejected"`
+	Canceled   int64                        `json:"canceled"`
+	QueueDepth int64                        `json:"queue_depth"`
+	Running    int                          `json:"running"`
+	CacheBytes int64                        `json:"cache_bytes"`
+	CacheItems int                          `json:"cache_items"`
+	KernelRuns map[string]int64             `json:"kernel_runs,omitempty"`
+	LatencyMs  map[string]HistogramSnapshot `json:"latency_ms,omitempty"`
+}
+
+// Snapshot captures the current counters plus the gauges owned by the
+// pool and cache.
+func (m *Metrics) Snapshot(pool *Pool, cache *Cache) MetricsSnapshot {
+	s := MetricsSnapshot{
+		Requests:   m.Requests.Load(),
+		CacheHits:  m.CacheHits.Load(),
+		CacheMiss:  m.CacheMiss.Load(),
+		Coalesced:  m.Coalesced.Load(),
+		Rejected:   m.Rejected.Load(),
+		Canceled:   m.Canceled.Load(),
+		KernelRuns: make(map[string]int64),
+		LatencyMs:  make(map[string]HistogramSnapshot),
+	}
+	if pool != nil {
+		s.QueueDepth = pool.QueueDepth()
+		s.Running = pool.Running()
+	}
+	if cache != nil {
+		s.CacheBytes = cache.Bytes()
+		s.CacheItems = cache.Len()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, c := range m.kernelRuns {
+		s.KernelRuns[k] = c.Load()
+	}
+	for k, h := range m.latency {
+		s.LatencyMs[k] = h.snapshot()
+	}
+	return s
+}

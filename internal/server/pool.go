@@ -1,0 +1,69 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrQueueFull rejects a kernel request when the admission queue is at
+// capacity — the server's backpressure signal, mapped to HTTP 429.
+var ErrQueueFull = errors.New("server: admission queue full")
+
+// Pool is the admission-controlled kernel executor: at most maxRunning
+// kernels execute at once (each kernel already parallelizes internally
+// via internal/par, so running many concurrently would oversubscribe the
+// machine and balloon working memory), and at most maxQueued further
+// requests may wait for a slot. Requests beyond that are rejected
+// immediately rather than piling up.
+type Pool struct {
+	slots   chan struct{}
+	waiting atomic.Int64
+	maxQ    int64
+}
+
+// NewPool returns a pool running at most maxRunning kernels with at most
+// maxQueued waiters. Non-positive arguments default to 2 running and 16
+// queued.
+func NewPool(maxRunning, maxQueued int) *Pool {
+	if maxRunning <= 0 {
+		maxRunning = 2
+	}
+	if maxQueued <= 0 {
+		maxQueued = 16
+	}
+	return &Pool{slots: make(chan struct{}, maxRunning), maxQ: int64(maxQueued)}
+}
+
+// Acquire claims an execution slot, waiting in the admission queue if all
+// slots are busy. It fails fast with ErrQueueFull when the queue is at
+// capacity and returns ctx.Err() if the request deadline expires while
+// queued. Every successful Acquire must be paired with Release.
+func (p *Pool) Acquire(ctx context.Context) error {
+	// Fast path: a free slot admits without queuing.
+	select {
+	case p.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if p.waiting.Add(1) > p.maxQ {
+		p.waiting.Add(-1)
+		return ErrQueueFull
+	}
+	defer p.waiting.Add(-1)
+	select {
+	case p.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot claimed by Acquire.
+func (p *Pool) Release() { <-p.slots }
+
+// QueueDepth returns the number of requests waiting for a slot.
+func (p *Pool) QueueDepth() int64 { return p.waiting.Load() }
+
+// Running returns the number of kernels currently executing.
+func (p *Pool) Running() int { return len(p.slots) }

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"graphct/internal/dimacs"
+	"graphct/internal/graph"
+)
+
+// epochCounter hands out globally unique graph epochs. Cache keys embed
+// the epoch, so replacing a graph under a name implicitly invalidates
+// every cached result for the old graph without touching the cache.
+var epochCounter atomic.Uint64
+
+// GraphEntry is one named graph in the registry. Entries are immutable
+// once published: a reload under the same name installs a new entry with
+// a fresh epoch.
+type GraphEntry struct {
+	Name  string
+	Epoch uint64
+	Graph *graph.Graph
+}
+
+// Registry maps names to in-memory CSR graphs. All methods are safe for
+// concurrent use; lookups are cheap (RWMutex read path) because every
+// kernel request resolves its graph here.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]*GraphEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]*GraphEntry)}
+}
+
+// Add publishes g under name, replacing any previous graph and bumping
+// the epoch (which orphans stale cache entries).
+func (r *Registry) Add(name string, g *graph.Graph) *GraphEntry {
+	e := &GraphEntry{Name: name, Epoch: epochCounter.Add(1), Graph: g}
+	r.mu.Lock()
+	r.m[name] = e
+	r.mu.Unlock()
+	return e
+}
+
+// Load reads a graph file in the given format ("dimacs", "edgelist" or
+// "binary") and publishes it under name.
+func (r *Registry) Load(name, format, path string, directed bool) (*GraphEntry, error) {
+	var g *graph.Graph
+	var err error
+	switch format {
+	case "dimacs":
+		g, err = dimacs.ParseFile(path, dimacs.ParseOptions{Directed: directed, KeepWeights: true})
+	case "edgelist":
+		g, err = dimacs.ParseEdgeListFile(path, dimacs.EdgeListOptions{Directed: directed})
+	case "binary":
+		g, err = dimacs.LoadBinary(path)
+	default:
+		return nil, fmt.Errorf("unknown graph format %q (want dimacs, edgelist or binary)", format)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return r.Add(name, g), nil
+}
+
+// Get resolves a name; ok is false when no graph is registered under it.
+func (r *Registry) Get(name string) (*GraphEntry, bool) {
+	r.mu.RLock()
+	e, ok := r.m[name]
+	r.mu.RUnlock()
+	return e, ok
+}
+
+// Remove drops the graph registered under name, reporting whether one
+// existed. Cached results for it age out of the LRU naturally.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	_, ok := r.m[name]
+	delete(r.m, name)
+	r.mu.Unlock()
+	return ok
+}
+
+// List returns the registered entries sorted by name.
+func (r *Registry) List() []*GraphEntry {
+	r.mu.RLock()
+	out := make([]*GraphEntry, 0, len(r.m))
+	for _, e := range r.m {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

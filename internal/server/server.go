@@ -1,0 +1,480 @@
+// Package server implements graphctd's long-running analysis service: a
+// registry of named in-memory CSR graphs shared by all clients, with the
+// toolkit's kernels exposed as HTTP JSON endpoints. The paper's scripting
+// interface amortizes one expensive ingest across many kernel invocations
+// within a single process; this server extends that amortization across
+// processes and users, holding graphs resident and serving concurrent
+// analysis traffic.
+//
+// The serving path is built for concurrency, not just correctness:
+//
+//   - results are cached by (graph epoch, kernel, params) in a
+//     byte-bounded LRU, so repeated analyses cost one map lookup;
+//   - concurrent identical requests coalesce (singleflight) into one
+//     kernel execution whose result every caller shares;
+//   - kernel executions pass an admission-controlled pool — a bounded
+//     number run at once (each already saturates cores via internal/par)
+//     and a bounded queue applies backpressure by rejecting overflow with
+//     429 rather than accumulating unbounded goroutines;
+//   - every request carries a context deadline that the long-running
+//     kernels (betweenness source loops, SSSP relaxation rounds, diameter
+//     sampling) observe at cooperative checkpoints.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"graphct/internal/bc"
+	"graphct/internal/core"
+	"graphct/internal/sssp"
+	"graphct/internal/stats"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// MaxConcurrent bounds simultaneously executing kernels (default 2).
+	MaxConcurrent int
+	// MaxQueued bounds kernel requests waiting for a slot; excess
+	// requests get 429 (default 16).
+	MaxQueued int
+	// CacheBytes bounds the result cache (default 64 MiB; <0 disables).
+	CacheBytes int64
+	// DefaultTimeout bounds each kernel request that does not set its own
+	// ?timeout_ms (0 = no default deadline).
+	DefaultTimeout time.Duration
+	// Seed drives the sampling kernels, so identical requests are
+	// deterministic and cache/coalescing-friendly.
+	Seed int64
+}
+
+// Server serves graph-analysis requests over a Registry.
+type Server struct {
+	reg     *Registry
+	cache   *Cache
+	flight  *flightGroup
+	pool    *Pool
+	metrics *Metrics
+	mux     *http.ServeMux
+	cfg     Config
+
+	// beforeKernel, when non-nil, runs inside the pool slot right before
+	// a kernel executes — a test seam for holding executions in flight.
+	beforeKernel func(kernel string)
+}
+
+// New returns a Server over reg.
+func New(reg *Registry, cfg Config) *Server {
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	s := &Server{
+		reg:     reg,
+		cache:   NewCache(cfg.CacheBytes),
+		flight:  newFlightGroup(),
+		pool:    NewPool(cfg.MaxConcurrent, cfg.MaxQueued),
+		metrics: NewMetrics(),
+		cfg:     cfg,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /graphs", s.handleListGraphs)
+	mux.HandleFunc("POST /graphs", s.handleLoadGraph)
+	mux.HandleFunc("DELETE /graphs/{name}", s.handleDeleteGraph)
+	mux.HandleFunc("POST /graphs/{name}/extract", s.handleExtract)
+	mux.HandleFunc("GET /graphs/{name}/{kernel}", s.handleKernel)
+	s.mux = mux
+	return s
+}
+
+// Metrics exposes the server's counters (used by tests and cmd/graphctd).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "graphs": len(s.reg.List())})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.pool, s.cache))
+}
+
+type graphInfo struct {
+	Name     string `json:"name"`
+	Epoch    uint64 `json:"epoch"`
+	Vertices int    `json:"vertices"`
+	Edges    int64  `json:"edges"`
+	Directed bool   `json:"directed"`
+}
+
+func entryInfo(e *GraphEntry) graphInfo {
+	return graphInfo{
+		Name:     e.Name,
+		Epoch:    e.Epoch,
+		Vertices: e.Graph.NumVertices(),
+		Edges:    e.Graph.NumEdges(),
+		Directed: e.Graph.Directed(),
+	}
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.List()
+	out := make([]graphInfo, len(entries))
+	for i, e := range entries {
+		out[i] = entryInfo(e)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type loadRequest struct {
+	Name     string `json:"name"`
+	Format   string `json:"format"` // dimacs | edgelist | binary
+	Path     string `json:"path"`
+	Directed bool   `json:"directed"`
+}
+
+func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
+	var req loadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Name == "" || req.Format == "" || req.Path == "" {
+		writeError(w, http.StatusBadRequest, "name, format and path are required")
+		return
+	}
+	e, err := s.reg.Load(req.Name, req.Format, req.Path, req.Directed)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "load %q: %v", req.Name, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, entryInfo(e))
+}
+
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.reg.Remove(name) {
+		writeError(w, http.StatusNotFound, "no graph %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+type extractRequest struct {
+	Component int    `json:"component"` // 1 = largest
+	As        string `json:"as"`
+}
+
+// handleExtract registers the rank-th largest component of a graph as a
+// new named graph — the server analogue of the script's
+// "extract component N => file.bin", with the registry standing in for
+// the filesystem.
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no graph %q", name)
+		return
+	}
+	var req extractRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.As == "" {
+		writeError(w, http.StatusBadRequest, "\"as\" (target graph name) is required")
+		return
+	}
+	if req.Component == 0 {
+		req.Component = 1
+	}
+	tk := core.New(e.Graph, core.WithSeed(s.cfg.Seed))
+	if err := tk.ExtractComponent(req.Component); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	ne := s.reg.Add(req.As, tk.Graph())
+	writeJSON(w, http.StatusCreated, entryInfo(ne))
+}
+
+// kernelRun executes one kernel over a graph entry; the canonical param
+// string doubles as the cache-key suffix.
+type kernelRun func(ctx context.Context) (any, error)
+
+// parseKernel validates a kernel request and returns its canonical
+// parameter string plus a closure that runs it. Validation happens here,
+// before the request touches the cache or pool, so malformed requests are
+// rejected with 400 without consuming serving-path resources.
+func (s *Server) parseKernel(kernel string, e *GraphEntry, q url.Values) (string, kernelRun, error) {
+	g := e.Graph
+	tk := func() *core.Toolkit { return core.New(g, core.WithSeed(s.cfg.Seed)) }
+	switch kernel {
+	case "components":
+		return "", func(ctx context.Context) (any, error) {
+			census := tk().ComponentCensus()
+			type comp struct {
+				Rank int   `json:"rank"`
+				Size int64 `json:"size"`
+			}
+			top := make([]comp, 0, 20)
+			for i, c := range census {
+				if i >= 20 {
+					break
+				}
+				top = append(top, comp{Rank: i + 1, Size: c.Size})
+			}
+			return map[string]any{"count": len(census), "largest": top}, nil
+		}, nil
+	case "stats":
+		return "", func(ctx context.Context) (any, error) {
+			ds := tk().DegreeStats()
+			alpha, used := stats.PowerLawAlpha(g, 4)
+			return map[string]any{
+				"vertices": g.NumVertices(), "edges": g.NumEdges(),
+				"degree_mean": ds.Mean, "degree_variance": ds.Variance, "degree_max": ds.Max,
+				"power_law_alpha": alpha, "power_law_fit_vertices": used,
+			}, nil
+		}, nil
+	case "degrees":
+		return "", func(ctx context.Context) (any, error) {
+			ds := tk().DegreeStats()
+			return ds, nil
+		}, nil
+	case "clustering":
+		return "", func(ctx context.Context) (any, error) {
+			return map[string]any{"global_clustering": tk().GlobalClustering()}, nil
+		}, nil
+	case "diameter":
+		return "", func(ctx context.Context) (any, error) {
+			d, err := tk().DiameterCtx(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return d, nil
+		}, nil
+	case "kcores":
+		k, err := intParam(q, "k", 1)
+		if err != nil || k < 0 {
+			return "", nil, fmt.Errorf("bad k %q", q.Get("k"))
+		}
+		return fmt.Sprintf("k=%d", k), func(ctx context.Context) (any, error) {
+			t := tk()
+			t.KCores(int32(k))
+			sub := t.Graph()
+			return map[string]any{"k": k, "vertices": sub.NumVertices(), "edges": sub.NumEdges()}, nil
+		}, nil
+	case "kcentrality":
+		k, err := intParam(q, "k", 0)
+		if err != nil || k < 0 || k > bc.MaxK {
+			return "", nil, fmt.Errorf("bad k %q (supported range 0..%d)", q.Get("k"), bc.MaxK)
+		}
+		samples, err := intParam(q, "samples", 256)
+		if err != nil {
+			return "", nil, fmt.Errorf("bad samples %q", q.Get("samples"))
+		}
+		top, err := intParam(q, "top", 10)
+		if err != nil || top < 1 {
+			return "", nil, fmt.Errorf("bad top %q", q.Get("top"))
+		}
+		return fmt.Sprintf("k=%d&samples=%d&top=%d", k, samples, top), func(ctx context.Context) (any, error) {
+			res, err := tk().KCentralityCtx(ctx, k, samples)
+			if err != nil {
+				return nil, err
+			}
+			type scored struct {
+				Vertex int32   `json:"vertex"`
+				Score  float64 `json:"score"`
+			}
+			ranked := make([]scored, 0, top)
+			for _, v := range res.TopK(top) {
+				ranked = append(ranked, scored{Vertex: v, Score: res.Scores[v]})
+			}
+			return map[string]any{"k": k, "sources": len(res.Sources), "top": ranked}, nil
+		}, nil
+	case "bfs":
+		src, err := vertexParam(q, "src", g.NumVertices())
+		if err != nil {
+			return "", nil, err
+		}
+		depth, err := intParam(q, "depth", -1)
+		if err != nil {
+			return "", nil, fmt.Errorf("bad depth %q", q.Get("depth"))
+		}
+		return fmt.Sprintf("depth=%d&src=%d", depth, src), func(ctx context.Context) (any, error) {
+			res := tk().BFS(src, depth)
+			return map[string]any{"src": src, "reached": res.NumReached(), "depth": res.Depth}, nil
+		}, nil
+	case "sssp":
+		src, err := vertexParam(q, "src", g.NumVertices())
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("src=%d", src), func(ctx context.Context) (any, error) {
+			res, err := tk().SSSPCtx(ctx, src)
+			if err != nil {
+				return nil, err
+			}
+			reached, maxDist := 0, int64(0)
+			for _, d := range res.Dist {
+				if d != sssp.Inf {
+					reached++
+					if d > maxDist {
+						maxDist = d
+					}
+				}
+			}
+			return map[string]any{"src": src, "reached": reached, "max_distance": maxDist}, nil
+		}, nil
+	default:
+		return "", nil, errUnknownKernel
+	}
+}
+
+var errUnknownKernel = errors.New("unknown kernel")
+
+func intParam(q url.Values, name string, def int) (int, error) {
+	v := q.Get(name)
+	if v == "" {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}
+
+func vertexParam(q url.Values, name string, n int) (int32, error) {
+	v, err := intParam(q, name, 0)
+	if err != nil || v < 0 || v >= n {
+		return 0, fmt.Errorf("bad vertex %q (graph has %d vertices)", q.Get(name), n)
+	}
+	return int32(v), nil
+}
+
+// handleKernel is the concurrent serving path: cache lookup, then
+// singleflight-coalesced execution through the admission pool.
+func (s *Server) handleKernel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	kernel := r.PathValue("kernel")
+	e, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no graph %q", name)
+		return
+	}
+	params, run, err := s.parseKernel(kernel, e, r.URL.Query())
+	if err != nil {
+		if errors.Is(err, errUnknownKernel) {
+			writeError(w, http.StatusNotFound, "unknown kernel %q", kernel)
+		} else {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	// Validate the deadline before the cache lookup so a malformed
+	// timeout_ms is a 400 regardless of whether the result is cached.
+	timeout := s.cfg.DefaultTimeout
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms <= 0 {
+			writeError(w, http.StatusBadRequest, "bad timeout_ms %q", v)
+			return
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	s.metrics.Requests.Add(1)
+
+	key := fmt.Sprintf("%s@%d/%s?%s", e.Name, e.Epoch, kernel, params)
+	if body, ok := s.cache.Get(key); ok {
+		s.metrics.CacheHits.Add(1)
+		s.writeRaw(w, body, "cache")
+		return
+	}
+	s.metrics.CacheMiss.Add(1)
+
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	// Coalesce identical concurrent requests: the leader runs the kernel
+	// under its own deadline; followers share the leader's result (and,
+	// if the leader is cancelled, its cancellation).
+	body, err, shared := s.flight.Do(key, func() ([]byte, error) {
+		if err := s.pool.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.pool.Release()
+		s.metrics.KernelStarted(kernel)
+		if s.beforeKernel != nil {
+			s.beforeKernel(kernel)
+		}
+		start := time.Now()
+		res, err := run(ctx)
+		s.metrics.ObserveLatency(kernel, time.Since(start))
+		if err != nil {
+			return nil, err
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, b)
+		return b, nil
+	})
+	if shared {
+		s.metrics.Coalesced.Add(1)
+	}
+	if err != nil {
+		s.writeKernelError(w, err)
+		return
+	}
+	source := "computed"
+	if shared {
+		source = "coalesced"
+	}
+	s.writeRaw(w, body, source)
+}
+
+func (s *Server) writeRaw(w http.ResponseWriter, body []byte, source string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Graphct-Source", source)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+func (s *Server) writeKernelError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.metrics.Rejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.metrics.Canceled.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "kernel canceled: %v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}

@@ -1,0 +1,444 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"graphct/internal/dimacs"
+	"graphct/internal/gen"
+	"graphct/internal/graph"
+)
+
+// testGraph returns a deterministic scale-free-ish graph big enough that
+// centrality runs are observable but fast.
+func testGraph() *graph.Graph {
+	return gen.PreferentialAttachment(400, 3, 1)
+}
+
+func newTestServer(t *testing.T, cfg Config, g *graph.Graph) (*Server, *httptest.Server, *GraphEntry) {
+	t.Helper()
+	reg := NewRegistry()
+	e := reg.Add("g", g)
+	s := New(reg, cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts, e
+}
+
+func get(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// TestCoalescingCacheAndBackpressure drives the acceptance scenario: 32
+// concurrent identical kcentrality requests produce exactly one kernel
+// execution with identical bodies, the follow-up call is a cache hit, and
+// a saturated admission queue rejects with 429.
+func TestCoalescingCacheAndBackpressure(t *testing.T) {
+	s, ts, e := newTestServer(t, Config{MaxConcurrent: 1, MaxQueued: 1}, testGraph())
+
+	started := make(chan string, 64)
+	release := make(chan struct{})
+	s.beforeKernel = func(kernel string) {
+		started <- kernel
+		<-release
+	}
+
+	const clients = 32
+	url := ts.URL + "/graphs/g/kcentrality?k=1&samples=16"
+	key := fmt.Sprintf("g@%d/kcentrality?k=1&samples=16&top=10", e.Epoch)
+
+	var wg sync.WaitGroup
+	type reply struct {
+		status int
+		source string
+		body   string
+	}
+	replies := make([]reply, clients)
+	wg.Add(clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			defer wg.Done()
+			status, hdr, body := get(t, url)
+			replies[i] = reply{status, hdr.Get("X-Graphct-Source"), string(body)}
+		}(i)
+	}
+
+	// The leader is now blocked inside its pool slot; wait until the
+	// other 31 requests are waiting on its singleflight call.
+	<-started
+	deadline := time.Now().Add(10 * time.Second)
+	for s.flight.waitersFor(key) != clients-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d requests coalesced", s.flight.waitersFor(key), clients-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// With the only slot held by the blocked leader, a non-coalescable
+	// request fills the queue (MaxQueued=1) and the next one must be
+	// rejected with 429.
+	queuedDone := make(chan int, 1)
+	go func() {
+		status, _, _ := get(t, ts.URL+"/graphs/g/kcentrality?k=1&samples=17")
+		queuedDone <- status
+	}()
+	for s.pool.QueueDepth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued request never reached the admission queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	status, _, body := get(t, ts.URL+"/graphs/g/kcentrality?k=1&samples=18")
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("expected 429 from full admission queue, got %d: %s", status, body)
+	}
+	if got := s.metrics.Rejected.Load(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+
+	close(release) // let the leader and the queued request run
+	wg.Wait()
+	if qs := <-queuedDone; qs != http.StatusOK {
+		t.Fatalf("queued request finished with %d, want 200", qs)
+	}
+
+	if runs := s.metrics.KernelRuns("kcentrality"); runs != 2 {
+		// One coalesced run for the 32 identical requests plus the
+		// queued samples=17 request; the samples=18 request was rejected.
+		t.Fatalf("kernel executions = %d, want 2", runs)
+	}
+	coalesced := 0
+	for i, r := range replies {
+		if r.status != http.StatusOK {
+			t.Fatalf("request %d: status %d body %s", i, r.status, r.body)
+		}
+		if r.body != replies[0].body {
+			t.Fatalf("request %d: body diverges:\n%s\nvs\n%s", i, r.body, replies[0].body)
+		}
+		if r.source == "coalesced" {
+			coalesced++
+		}
+	}
+	if coalesced != clients-1 {
+		t.Fatalf("coalesced replies = %d, want %d", coalesced, clients-1)
+	}
+
+	// Follow-up identical request: served from cache, no new execution.
+	s.beforeKernel = nil
+	status, hdr, body2 := get(t, url)
+	if status != http.StatusOK || hdr.Get("X-Graphct-Source") != "cache" {
+		t.Fatalf("follow-up: status %d source %q", status, hdr.Get("X-Graphct-Source"))
+	}
+	if string(body2) != replies[0].body {
+		t.Fatalf("cached body diverges from computed body")
+	}
+	if got := s.metrics.CacheHits.Load(); got != 1 {
+		t.Fatalf("cache hits = %d, want 1", got)
+	}
+	if runs := s.metrics.KernelRuns("kcentrality"); runs != 2 {
+		t.Fatalf("kernel executions after cache hit = %d, want 2", runs)
+	}
+}
+
+// TestDeadlineCancellation verifies that requests whose deadline has
+// expired return promptly: the beforeKernel hook outlasts the 1ms budget,
+// so the kernels must notice cancellation at their first checkpoint
+// instead of running to completion.
+func TestDeadlineCancellation(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{MaxConcurrent: 2, MaxQueued: 4}, gen.PreferentialAttachment(3000, 3, 1))
+	s.beforeKernel = func(string) { time.Sleep(20 * time.Millisecond) }
+
+	for _, ep := range []string{
+		"/graphs/g/kcentrality?samples=3000&timeout_ms=1",
+		"/graphs/g/sssp?src=0&timeout_ms=1",
+		"/graphs/g/diameter?timeout_ms=1",
+	} {
+		start := time.Now()
+		status, _, body := get(t, ts.URL+ep)
+		elapsed := time.Since(start)
+		if status != http.StatusGatewayTimeout {
+			t.Errorf("%s: status %d body %s, want 504", ep, status, body)
+		}
+		if elapsed > 5*time.Second {
+			t.Errorf("%s: took %v after deadline expiry, not prompt", ep, elapsed)
+		}
+	}
+	if got := s.metrics.Canceled.Load(); got != 3 {
+		t.Fatalf("canceled counter = %d, want 3", got)
+	}
+}
+
+// TestKernelEndpoints exercises every read-only kernel route for shape
+// and status.
+func TestKernelEndpoints(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{}, gen.Disjoint(gen.Complete(4), gen.Path(3)))
+	for _, tc := range []struct {
+		path string
+		want map[string]float64 // numeric fields to assert
+	}{
+		{"/graphs/g/components", map[string]float64{"count": 2}},
+		{"/graphs/g/stats", map[string]float64{"vertices": 7, "edges": 8}},
+		{"/graphs/g/degrees", map[string]float64{"N": 7, "Max": 3}},
+		// K4 contributes 12 closed wedges, the path's center one open
+		// wedge: transitivity 12/13.
+		{"/graphs/g/clustering", map[string]float64{"global_clustering": 12.0 / 13.0}},
+		{"/graphs/g/diameter", map[string]float64{"Sources": 7}},
+		{"/graphs/g/kcores?k=3", map[string]float64{"vertices": 4, "edges": 6}},
+		{"/graphs/g/kcentrality?k=0&samples=0", map[string]float64{"sources": 7}},
+		{"/graphs/g/bfs?src=0&depth=-1", map[string]float64{"reached": 4, "depth": 1}},
+		{"/graphs/g/sssp?src=4", map[string]float64{"reached": 3, "max_distance": 2}},
+	} {
+		status, _, body := get(t, ts.URL+tc.path)
+		if status != http.StatusOK {
+			t.Errorf("%s: status %d body %s", tc.path, status, body)
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Errorf("%s: bad JSON %s: %v", tc.path, body, err)
+			continue
+		}
+		for field, want := range tc.want {
+			got, ok := m[field].(float64)
+			if !ok || got != want {
+				t.Errorf("%s: field %q = %v, want %v (body %s)", tc.path, field, m[field], want, body)
+			}
+		}
+	}
+}
+
+// TestBadRequests verifies validation happens before the serving path.
+func TestBadRequests(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{}, gen.Path(5))
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/graphs/missing/components", http.StatusNotFound},
+		{"/graphs/g/nosuchkernel", http.StatusNotFound},
+		{"/graphs/g/kcentrality?k=99", http.StatusBadRequest},
+		{"/graphs/g/kcentrality?samples=abc", http.StatusBadRequest},
+		{"/graphs/g/bfs?src=100", http.StatusBadRequest},
+		{"/graphs/g/sssp?src=-1", http.StatusBadRequest},
+		{"/graphs/g/kcores?k=-2", http.StatusBadRequest},
+		{"/graphs/g/components?timeout_ms=zero", http.StatusBadRequest},
+	} {
+		status, _, body := get(t, ts.URL+tc.path)
+		if status != tc.want {
+			t.Errorf("%s: status %d body %s, want %d", tc.path, status, body, tc.want)
+		}
+	}
+	if got := s.metrics.Rejected.Load(); got != 0 {
+		t.Fatalf("validation failures must not count as rejections, got %d", got)
+	}
+}
+
+// TestGraphLifecycle loads a graph over HTTP, lists it, extracts its
+// largest component as a new graph, and deletes both.
+func TestGraphLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "two.dimacs")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dimacs.Write(f, gen.Disjoint(gen.Complete(4), gen.Path(3))); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts, _ := newTestServer(t, Config{}, gen.Path(2))
+
+	body, _ := json.Marshal(loadRequest{Name: "two", Format: "dimacs", Path: path})
+	resp, err := http.Post(ts.URL+"/graphs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("load: status %d body %s", resp.StatusCode, loaded)
+	}
+	var info graphInfo
+	if err := json.Unmarshal(loaded, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Vertices != 7 || info.Edges != 8 {
+		t.Fatalf("loaded graph %+v, want 7 vertices 8 edges", info)
+	}
+
+	status, _, listBody := get(t, ts.URL+"/graphs")
+	var list []graphInfo
+	if status != http.StatusOK || json.Unmarshal(listBody, &list) != nil || len(list) != 2 {
+		t.Fatalf("list: status %d body %s", status, listBody)
+	}
+
+	extract, _ := json.Marshal(extractRequest{Component: 1, As: "core"})
+	resp, err = http.Post(ts.URL+"/graphs/two/extract", "application/json", bytes.NewReader(extract))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("extract: status %d body %s", resp.StatusCode, exBody)
+	}
+	var ex graphInfo
+	if err := json.Unmarshal(exBody, &ex); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Name != "core" || ex.Vertices != 4 || ex.Edges != 6 {
+		t.Fatalf("extracted %+v, want the K4", ex)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/graphs/two", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	status, _, _ = get(t, ts.URL+"/graphs/two/components")
+	if status != http.StatusNotFound {
+		t.Fatalf("deleted graph still serves: %d", status)
+	}
+}
+
+// TestEpochInvalidation reloads a graph under the same name and checks
+// that cached results for the old epoch are not served.
+func TestEpochInvalidation(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{}, gen.Complete(4))
+	status, hdr, _ := get(t, ts.URL+"/graphs/g/components")
+	if status != http.StatusOK || hdr.Get("X-Graphct-Source") != "computed" {
+		t.Fatalf("first call: %d %q", status, hdr.Get("X-Graphct-Source"))
+	}
+	status, hdr, _ = get(t, ts.URL+"/graphs/g/components")
+	if status != http.StatusOK || hdr.Get("X-Graphct-Source") != "cache" {
+		t.Fatalf("second call: %d %q", status, hdr.Get("X-Graphct-Source"))
+	}
+	s.reg.Add("g", gen.Disjoint(gen.Path(2), gen.Path(2)))
+	status, hdr, body := get(t, ts.URL+"/graphs/g/components")
+	if status != http.StatusOK || hdr.Get("X-Graphct-Source") != "computed" {
+		t.Fatalf("post-reload call: %d %q", status, hdr.Get("X-Graphct-Source"))
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil || m["count"].(float64) != 2 {
+		t.Fatalf("post-reload body %s, want count 2", body)
+	}
+}
+
+// TestHealthzAndMetrics checks the operational endpoints' shape.
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{}, gen.Path(4))
+	status, _, body := get(t, ts.URL+"/healthz")
+	if status != http.StatusOK || !bytes.Contains(body, []byte(`"ok"`)) {
+		t.Fatalf("healthz: %d %s", status, body)
+	}
+	get(t, ts.URL+"/graphs/g/components")
+	get(t, ts.URL+"/graphs/g/components")
+	status, _, body = get(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: %d", status)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("metrics JSON: %v in %s", err, body)
+	}
+	if snap.Requests != 2 || snap.CacheHits != 1 || snap.CacheMiss != 1 {
+		t.Fatalf("metrics %+v, want 2 requests, 1 hit, 1 miss", snap)
+	}
+	if snap.KernelRuns["components"] != 1 {
+		t.Fatalf("kernel_runs %v, want components:1", snap.KernelRuns)
+	}
+	if h, ok := snap.LatencyMs["components"]; !ok || h.Count != 1 {
+		t.Fatalf("latency histogram %v, want one components observation", snap.LatencyMs)
+	}
+}
+
+// TestCacheLRU checks the byte bound and eviction order directly.
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(100)
+	val := func(n int) []byte { return bytes.Repeat([]byte{'x'}, n) }
+	c.Put("a", val(40))
+	c.Put("b", val(40))
+	if c.Bytes() != 80 || c.Len() != 2 {
+		t.Fatalf("bytes=%d len=%d, want 80/2", c.Bytes(), c.Len())
+	}
+	c.Get("a") // refresh a; b becomes LRU
+	c.Put("c", val(40))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction despite being LRU")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite recent use")
+	}
+	c.Put("huge", val(200)) // larger than the bound: never stored
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversized value was cached")
+	}
+	c.Put("a", val(90)) // resize in place forces eviction of c
+	if _, ok := c.Get("c"); ok {
+		t.Fatal("c survived eviction after a grew")
+	}
+	if c.Bytes() != 90 {
+		t.Fatalf("bytes=%d after resize, want 90", c.Bytes())
+	}
+
+	off := NewCache(0)
+	off.Put("k", val(10))
+	if _, ok := off.Get("k"); ok {
+		t.Fatal("disabled cache stored a value")
+	}
+}
+
+// TestPoolAdmission checks slot accounting and queue rejection without
+// HTTP in the way.
+func TestPoolAdmission(t *testing.T) {
+	p := NewPool(1, 1)
+	if err := p.Acquire(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan error, 1)
+	go func() { acquired <- p.Acquire(t.Context()) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.QueueDepth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := p.Acquire(t.Context()); err != ErrQueueFull {
+		t.Fatalf("third acquire: %v, want ErrQueueFull", err)
+	}
+	p.Release()
+	if err := <-acquired; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	p.Release()
+	if p.Running() != 0 || p.QueueDepth() != 0 {
+		t.Fatalf("pool not drained: running=%d queued=%d", p.Running(), p.QueueDepth())
+	}
+}

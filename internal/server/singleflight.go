@@ -1,0 +1,61 @@
+package server
+
+import "sync"
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution whose result every caller shares — the standard singleflight
+// pattern, implemented locally so the module stays dependency-free. N
+// identical kernel requests arriving together cost one kernel run, one
+// pool slot and one cache fill.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg      sync.WaitGroup
+	val     []byte
+	err     error
+	waiters int
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// Do runs fn once per key at a time: the first caller (the leader)
+// executes fn while concurrent callers with the same key block and
+// receive the leader's result. shared reports whether this caller got a
+// coalesced result instead of executing fn itself.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(flightCall)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}
+
+// waitersFor reports how many callers are blocked on key's in-flight
+// call — a test observation point for coalescing.
+func (g *flightGroup) waitersFor(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c.waiters
+	}
+	return 0
+}

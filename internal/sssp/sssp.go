@@ -8,6 +8,7 @@ package sssp
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -105,6 +106,14 @@ func (h *distHeap) Pop() interface{} {
 // (weight < delta), then relaxes its heavy edges once. delta <= 0 picks
 // a heuristic width (mean edge weight + 1).
 func DeltaStepping(g *graph.Graph, src int32, delta int64) (*Result, error) {
+	return DeltaSteppingCtx(context.Background(), g, src, delta)
+}
+
+// DeltaSteppingCtx is DeltaStepping with cooperative cancellation: the
+// context is checked between relaxation rounds (each round is one parallel
+// sweep over a frontier), so a cancelled request stops within a round
+// rather than running the full bucket schedule.
+func DeltaSteppingCtx(ctx context.Context, g *graph.Graph, src int32, delta int64) (*Result, error) {
 	if err := validateWeights(g); err != nil {
 		return nil, err
 	}
@@ -129,6 +138,9 @@ func DeltaStepping(g *graph.Graph, src int32, delta int64) (*Result, error) {
 		}
 	}
 	for len(buckets) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Smallest non-empty bucket index.
 		bi := int64(-1)
 		for k := range buckets {
@@ -141,6 +153,9 @@ func DeltaStepping(g *graph.Graph, src int32, delta int64) (*Result, error) {
 		// Every improvement lands in bucket >= bi (distances only
 		// shrink toward bi*delta), so progress is monotone and finite.
 		for len(buckets[bi]) > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			frontier := buckets[bi]
 			delete(buckets, bi)
 			// Keep only entries still belonging to this bucket: a vertex

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -244,9 +245,19 @@ func ExactDiameter(g *graph.Graph) int {
 // estimate sizes traversal queues; overestimates waste memory while
 // underestimates would make kernels fail, hence the safety factor.
 func EstimateDiameter(g *graph.Graph, samples, multiplier int, seed int64) DiameterEstimate {
+	// The background context never cancels, so the error is impossible.
+	d, _ := EstimateDiameterCtx(context.Background(), g, samples, multiplier, seed)
+	return d
+}
+
+// EstimateDiameterCtx is EstimateDiameter with cooperative cancellation:
+// the context is checked before each sampled BFS source, so a cancelled
+// request stops after at most one in-flight BFS per worker instead of
+// sweeping all sources.
+func EstimateDiameterCtx(ctx context.Context, g *graph.Graph, samples, multiplier int, seed int64) (DiameterEstimate, error) {
 	n := g.NumVertices()
 	if n == 0 {
-		return DiameterEstimate{}
+		return DiameterEstimate{}, nil
 	}
 	if samples <= 0 {
 		samples = 256
@@ -266,18 +277,29 @@ func EstimateDiameter(g *graph.Graph, samples, multiplier int, seed int64) Diame
 	depths := make([]int, samples)
 	grp := par.NewGroup(0)
 	for i, s := range srcs {
+		if ctx.Err() != nil {
+			break // stop scheduling; in-flight searches finish
+		}
 		i, s := i, s
 		grp.Go(func() error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			depths[i] = bfs.Search(g, s).Depth
 			return nil
 		})
 	}
-	grp.Wait()
+	if err := grp.Wait(); err != nil {
+		return DiameterEstimate{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return DiameterEstimate{}, err
+	}
 	longest := 0
 	for _, d := range depths {
 		if d > longest {
 			longest = d
 		}
 	}
-	return DiameterEstimate{Estimate: multiplier * longest, LongestPath: longest, Sources: samples}
+	return DiameterEstimate{Estimate: multiplier * longest, LongestPath: longest, Sources: samples}, nil
 }
