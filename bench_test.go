@@ -120,6 +120,23 @@ func BenchmarkFig6Scaling(b *testing.B) {
 	}
 }
 
+// BenchmarkCentrality is the kernel acceptance benchmark tracked in
+// BENCH_PR2.json: sampled betweenness centrality on the paper's R-MAT
+// generator at scale 16 (65k vertices, ~1M distinct edges) with a fixed
+// seed. edges/s counts NumArcs() once per source per iteration — the
+// traversal-throughput convention cmd/bench uses for the perf trajectory,
+// so numbers here are comparable across PRs.
+func BenchmarkCentrality(b *testing.B) {
+	g := gen.RMAT(gen.PaperRMAT(16, 1))
+	const samples = 32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bc.Centrality(g, bc.Options{Samples: samples, Seed: 1})
+	}
+	edges := float64(g.NumArcs()) * samples * float64(b.N)
+	b.ReportMetric(edges/b.Elapsed().Seconds(), "edges/s")
+}
+
 // Ablation: coarse source-level parallelism vs added fine-grained
 // within-source parallelism (DESIGN.md §5).
 func BenchmarkAblationParallelismCoarse(b *testing.B) {

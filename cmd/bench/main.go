@@ -1,0 +1,142 @@
+// Command bench is the repo's reproducible perf-trajectory harness: it
+// runs the betweenness-centrality kernel configurations with fixed seeds
+// through testing.Benchmark and writes a machine-readable report
+// (BENCH_PR2.json by default) recording kernel, ns/op, edges/sec and
+// GOMAXPROCS. Re-running it on the same hardware reproduces the numbers a
+// PR quotes; future PRs append their own BENCH_PRn.json and compare.
+//
+// The configuration matrix crosses the two tentpole knobs so the report
+// doubles as an ablation: accumulation (striped vs the pre-PR atomic-CAS
+// idiom) × forward sweep (direction-optimizing vs the pre-PR top-down
+// reference). "atomic+topdown" is the PR-2 baseline configuration;
+// "striped+hybrid" is the shipped default (AccumAuto resolves to striped
+// whenever the stripes fit the memory budget).
+//
+// edges/sec counts NumArcs() once per source per iteration — the same
+// convention as BenchmarkCentrality in bench_test.go, so the two report
+// comparable throughput.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"graphct/internal/bc"
+	"graphct/internal/gen"
+)
+
+type result struct {
+	Kernel      string  `json:"kernel"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	EdgesPerSec float64 `json:"edges_per_sec"`
+	Iterations  int     `json:"iterations"`
+}
+
+type report struct {
+	Generator  string   `json:"generator"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	GoVersion  string   `json:"go_version"`
+	RMATScale  int      `json:"rmat_scale"`
+	Vertices   int      `json:"vertices"`
+	Arcs       int64    `json:"arcs"`
+	Samples    int      `json:"samples"`
+	Seed       int64    `json:"seed"`
+	Results    []result `json:"results"`
+}
+
+func main() {
+	var (
+		scale   = flag.Int("scale", 16, "R-MAT scale (2^scale vertices, paper parameters)")
+		samples = flag.Int("samples", 32, "sampled betweenness sources per run")
+		seed    = flag.Int64("seed", 1, "generator and sampling seed")
+		procs   = flag.Int("procs", 4, "GOMAXPROCS for the runs (acceptance floor is 4)")
+		k       = flag.Int("k", 1, "k for the k-betweenness entry (0 skips it)")
+		out     = flag.String("out", "BENCH_PR2.json", "output path; - for stdout")
+	)
+	flag.Parse()
+	runtime.GOMAXPROCS(*procs)
+
+	fmt.Fprintf(os.Stderr, "generating R-MAT scale %d (seed %d)...\n", *scale, *seed)
+	g := gen.RMAT(gen.PaperRMAT(*scale, *seed))
+	arcs := g.NumArcs()
+	rep := report{
+		Generator:  fmt.Sprintf("cmd/bench -scale %d -samples %d -seed %d", *scale, *samples, *seed),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		RMATScale:  *scale,
+		Vertices:   g.NumVertices(),
+		Arcs:       arcs,
+		Samples:    *samples,
+		Seed:       *seed,
+	}
+
+	bcConfigs := []struct {
+		name string
+		opt  bc.Options
+	}{
+		// The pre-PR idiom: shared score array behind an atomic float64
+		// CAS loop, push-only top-down forward sweeps.
+		{"centrality/atomic+topdown (PR-2 baseline)",
+			bc.Options{Accumulation: bc.AccumAtomic, Sweep: bc.SweepTopDown}},
+		// One tentpole knob at a time.
+		{"centrality/striped+topdown",
+			bc.Options{Accumulation: bc.AccumStriped, Sweep: bc.SweepTopDown}},
+		{"centrality/atomic+hybrid",
+			bc.Options{Accumulation: bc.AccumAtomic, Sweep: bc.SweepAuto}},
+		// The shipped default (what Options' zero values resolve to).
+		{"centrality/striped+hybrid (default)",
+			bc.Options{Accumulation: bc.AccumStriped, Sweep: bc.SweepAuto}},
+	}
+	for _, cfg := range bcConfigs {
+		opt := cfg.opt
+		opt.Samples = *samples
+		opt.Seed = *seed
+		rep.Results = append(rep.Results, run(cfg.name, arcs, int64(*samples), func() {
+			bc.Centrality(g, opt)
+		}))
+	}
+	if *k > 0 {
+		opt := bc.Options{K: *k, Samples: *samples, Seed: *seed}
+		rep.Results = append(rep.Results, run(fmt.Sprintf("kcentrality/k=%d", *k), arcs, int64(*samples), func() {
+			bc.Centrality(g, opt)
+		}))
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// run benchmarks fn via testing.Benchmark and converts the timing into the
+// report row. edgesTraversed is the per-iteration edge count the
+// throughput metric divides by (arcs × sources).
+func run(name string, arcs, sources int64, fn func()) result {
+	fmt.Fprintf(os.Stderr, "%-45s ", name)
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	ns := r.NsPerOp()
+	eps := float64(arcs*sources) / (float64(ns) * 1e-9)
+	fmt.Fprintf(os.Stderr, "%12d ns/op %14.0f edges/s\n", ns, eps)
+	return result{Kernel: name, NsPerOp: ns, EdgesPerSec: eps, Iterations: r.N}
+}

@@ -6,9 +6,19 @@
 //
 // Parallelism follows the paper: the coarse level runs many source
 // computations concurrently (bounded so working memory stays O(S·(m+n))),
-// and each source's sweeps expose fine-grained parallelism; accumulation
-// into the shared score array uses an atomic float add, the only
-// synchronization primitive the algorithm needs.
+// and each source's sweeps expose fine-grained parallelism.
+//
+// Accumulation into the score array departs from the XMT idiom on purpose.
+// The paper's hardware hides the latency of hammering one shared array
+// with atomic updates; on cache-coherent commodity machines the same
+// pattern turns the high-centrality hubs of a scale-free graph into
+// white-hot contended cache lines. By default each in-flight source
+// therefore accumulates into a private stripe and the stripes are merged
+// once by a parallel tree reduction; the atomic-CAS path survives behind
+// Options.Accumulation for graphs too large to afford the stripes. The
+// Brandes forward sweeps are likewise direction-optimized (Beamer
+// top-down/bottom-up, shared with internal/bfs) so hub-dominated levels
+// stop scanning the whole edge list.
 package bc
 
 import (
@@ -47,7 +57,34 @@ type Options struct {
 	// Strategy selects how sampled sources are drawn; the zero value is
 	// the paper's uniform ("unguided") sampling.
 	Strategy Sampling
+	// Accumulation selects how per-source contributions merge into the
+	// score array. The zero value AccumAuto uses striped (contention-free)
+	// accumulation when the stripes fit StripeBudget and the atomic-CAS
+	// shared array otherwise.
+	Accumulation Accumulation
+	// StripeBudget caps the extra memory AccumAuto may spend on score
+	// stripes, in bytes (slots × n × 8 must fit); 0 means
+	// DefaultStripeBudget. Ignored when Accumulation is explicit.
+	StripeBudget int64
+	// Sweep selects the Brandes forward-sweep traversal. The zero value
+	// SweepAuto direction-optimizes; SweepTopDown forces the classic
+	// push-only reference sweep. Scores are bit-identical either way.
+	Sweep Sweep
 }
+
+// Sweep selects the traversal strategy of the Brandes forward sweeps.
+type Sweep int
+
+const (
+	// SweepAuto direction-optimizes each level: top-down push while the
+	// frontier is small, bottom-up pull (bitmap frontier) when the
+	// frontier's out-edges dominate, per the thresholds shared with
+	// bfs.HybridSearch.
+	SweepAuto Sweep = iota
+	// SweepTopDown forces the classic level-synchronous push sweep on
+	// every level — the reference the equivalence tests compare against.
+	SweepTopDown
+)
 
 // Result holds centrality scores. Sampled scores are scaled by n/|sources|
 // so they estimate the exact scores.
@@ -93,7 +130,6 @@ func CentralityCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, e
 	}
 	n := g.NumVertices()
 	sources := sampleWithStrategy(g, opt.Samples, opt.Seed, opt.Strategy)
-	scores := make([]uint64, n) // float64 bits, accumulated atomically
 	scale := 1.0
 	if len(sources) > 0 && len(sources) < n {
 		scale = float64(n) / float64(len(sources))
@@ -102,6 +138,16 @@ func CentralityCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, e
 	if limit <= 0 {
 		limit = par.Workers()
 	}
+	// One stripe per concurrency slot suffices; fewer sources than slots
+	// means fewer stripes to allocate and merge.
+	slots := limit
+	if len(sources) < slots {
+		slots = len(sources)
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	acc := newAccumulator(n, slots, opt.Accumulation, opt.StripeBudget, scale)
 	grp := par.NewGroup(limit)
 	var pool sync.Pool
 	for _, s := range sources {
@@ -113,14 +159,16 @@ func CentralityCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, e
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			sink, release := acc.acquire()
+			defer release()
 			ws, _ := pool.Get().(*workspace)
 			if ws == nil || ws.n != n || ws.k != opt.K {
 				ws = newWorkspace(n, opt.K)
 			}
 			if opt.K == 0 {
-				brandesSource(g, s, ws, scores, scale, opt.FineGrained)
+				brandesSource(g, s, ws, sink, opt.FineGrained, opt.Sweep)
 			} else {
-				kbcSource(g, s, ws, scores, scale)
+				kbcSource(g, s, ws, sink)
 			}
 			pool.Put(ws)
 			return nil
@@ -132,9 +180,7 @@ func CentralityCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	out := make([]float64, n)
-	par.For(n, func(v int) { out[v] = par.LoadFloat64(&scores[v]) })
-	return &Result{Scores: out, Sources: sources, K: opt.K}, nil
+	return &Result{Scores: acc.merge(), Sources: sources, K: opt.K}, nil
 }
 
 // sampleSources returns the source set: all vertices when samples is out of
@@ -176,61 +222,68 @@ func (r *Result) Normalized() []float64 {
 }
 
 // TopK returns the indices of the k highest-scoring vertices in descending
-// score order (ties broken by vertex id for determinism).
+// score order (ties broken by vertex id for determinism). Selection is a
+// bounded min-heap over the k best seen so far — O(n log k) instead of
+// sorting all n scores, which matters when a server request wants the top
+// 10 of a multi-million-vertex graph.
 func (r *Result) TopK(k int) []int32 {
-	n := len(r.Scores)
+	scores := r.Scores
+	n := len(scores)
 	if k > n {
 		k = n
 	}
-	idx := make([]int32, n)
-	for i := range idx {
-		idx[i] = int32(i)
+	if k <= 0 {
+		return []int32{}
 	}
-	// Partial selection sort is fine for the small k the analyses use;
-	// full sort keeps it simple and deterministic.
-	sortByScore(idx, r.Scores)
-	return idx[:k]
-}
-
-func sortByScore(idx []int32, scores []float64) {
-	// Sort descending by score, ascending by id.
-	less := func(a, b int32) bool {
+	// worse orders by eviction priority: lowest score first, highest id
+	// first among ties, so the heap root is always the candidate to drop.
+	worse := func(a, b int32) bool {
 		if scores[a] != scores[b] {
-			return scores[a] > scores[b]
+			return scores[a] < scores[b]
 		}
-		return a < b
+		return a > b
 	}
-	var qs func(lo, hi int)
-	qs = func(lo, hi int) {
-		for hi-lo > 12 {
-			p := idx[(lo+hi)/2]
-			i, j := lo, hi-1
-			for i <= j {
-				for less(idx[i], p) {
-					i++
-				}
-				for less(p, idx[j]) {
-					j--
-				}
-				if i <= j {
-					idx[i], idx[j] = idx[j], idx[i]
-					i++
-					j--
-				}
+	heap := make([]int32, 0, k)
+	siftDown := func(i, size int) {
+		for {
+			l := 2*i + 1
+			if l >= size {
+				return
 			}
-			if j-lo < hi-i {
-				qs(lo, j+1)
-				lo = i
-			} else {
-				qs(i, hi)
-				hi = j + 1
+			m := l
+			if rt := l + 1; rt < size && worse(heap[rt], heap[l]) {
+				m = rt
 			}
-		}
-		for i := lo + 1; i < hi; i++ {
-			for j := i; j > lo && less(idx[j], idx[j-1]); j-- {
-				idx[j], idx[j-1] = idx[j-1], idx[j]
+			if !worse(heap[m], heap[i]) {
+				return
 			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
 		}
 	}
-	qs(0, len(idx))
+	for v := int32(0); int(v) < n; v++ {
+		if len(heap) < k {
+			heap = append(heap, v)
+			for i := len(heap) - 1; i > 0; {
+				p := (i - 1) / 2
+				if !worse(heap[i], heap[p]) {
+					break
+				}
+				heap[i], heap[p] = heap[p], heap[i]
+				i = p
+			}
+			continue
+		}
+		if worse(heap[0], v) {
+			heap[0] = v
+			siftDown(0, k)
+		}
+	}
+	// Heap-sort extraction: repeatedly move the worst survivor to the
+	// back, leaving best-to-worst order in place.
+	for size := k - 1; size > 0; size-- {
+		heap[0], heap[size] = heap[size], heap[0]
+		siftDown(0, size)
+	}
+	return heap
 }

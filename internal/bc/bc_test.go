@@ -149,13 +149,13 @@ func TestKZeroGeneralPathMatchesBrandes(t *testing.T) {
 		g := gen.ErdosRenyi(30, 70, seed)
 		n := g.NumVertices()
 		want := Exact(g).Scores
-		scores := make([]uint64, n)
+		scores := make([]float64, n)
 		ws := newWorkspace(n, 0)
 		for s := 0; s < n; s++ {
-			kbcSource(g, int32(s), ws, scores, 1)
+			kbcSource(g, int32(s), ws, scoreSink{local: scores, scale: 1})
 		}
 		for v := 0; v < n; v++ {
-			got := math.Float64frombits(scores[v])
+			got := scores[v]
 			if !approxEq(got, want[v]) {
 				t.Logf("seed %d v=%d got %v want %v", seed, v, got, want[v])
 				return false

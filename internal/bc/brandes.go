@@ -3,6 +3,7 @@ package bc
 import (
 	"sync/atomic"
 
+	"graphct/internal/bfs"
 	"graphct/internal/graph"
 	"graphct/internal/par"
 )
@@ -19,6 +20,7 @@ type workspace struct {
 	sigTot     []float64 // per-vertex total short-path count (k > 0 only)
 	order      []int32   // visitation order of the last search
 	levelStart []int     // offsets into order where each BFS level begins
+	front      bitset    // previous-level membership for bottom-up sweeps
 }
 
 func newWorkspace(n, k int) *workspace {
@@ -37,7 +39,8 @@ func newWorkspace(n, k int) *workspace {
 	return ws
 }
 
-// reset clears the entries touched by the last search.
+// reset clears the entries touched by the last search. The frontier bitmap
+// needs no clearing here: bottom-up levels rebuild it before every use.
 func (ws *workspace) reset() {
 	stride := ws.k + 1
 	for _, v := range ws.order {
@@ -55,57 +58,161 @@ func (ws *workspace) reset() {
 	ws.levelStart = ws.levelStart[:0]
 }
 
-// brandesSource accumulates one source's dependency contributions into
-// scores (float64 bit patterns, added atomically, scaled by scale).
-func brandesSource(g *graph.Graph, s int32, ws *workspace, scores []uint64, scale float64, fine bool) {
+// bitset is a packed vertex set; bottom-up sweeps test previous-level
+// membership with one bit load instead of a 4-byte dist compare, keeping
+// the hub-scan working set 32× smaller.
+type bitset []uint64
+
+func newBitset(n int) bitset      { return make(bitset, (n+63)/64) }
+func (b bitset) set(v int32)      { b[v>>6] |= 1 << (uint(v) & 63) }
+func (b bitset) has(v int32) bool { return b[v>>6]&(1<<(uint(v)&63)) != 0 }
+func (b bitset) clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// brandesSource runs one source's forward and backward sweeps,
+// accumulating scaled dependency contributions into sink.
+//
+// The forward sweep is level-synchronous and direction-optimizing: each
+// level runs top-down (push from the frontier) or bottom-up (every
+// unvisited vertex pulls path counts from frontier neighbors found via the
+// bitmap) by the Beamer thresholds shared with bfs.HybridSearch. On
+// scale-free graphs the two or three hub-dominated middle levels hold most
+// of the edges; bottom-up stops those levels from scanning the whole edge
+// list through the frontier.
+//
+// The backward sweep pulls dependencies from successors in sorted
+// adjacency order, so the resulting scores are bit-identical whichever
+// forward strategy discovered each level — the property the equivalence
+// tests pin down. (Path counts are integer-valued, so forward summation
+// order cannot perturb them either.)
+func brandesSource(g *graph.Graph, s int32, ws *workspace, sink scoreSink, fine bool, sweep Sweep) {
 	defer ws.reset()
 	if fine {
-		brandesSourceFine(g, s, ws, scores, scale)
+		brandesSourceFine(g, s, ws, sink)
 		return
 	}
-	dist, sigma, delta := ws.dist, ws.sigma, ws.delta
+	dist, sigma := ws.dist, ws.sigma
 	dist[s] = 0
 	sigma[s] = 1
 	ws.order = append(ws.order, s)
+	ws.levelStart = append(ws.levelStart, 0)
 	frontier := ws.order[0:1]
+	n := int64(g.NumVertices())
+	remaining := g.NumArcs()
+	hybrid := sweep != SweepTopDown && !g.Directed()
 	for len(frontier) > 0 {
-		frontierEnd := len(ws.order)
+		var frontierEdges int64
 		for _, u := range frontier {
-			du := dist[u]
-			su := sigma[u]
-			for _, v := range g.Neighbors(u) {
-				if dist[v] == -1 {
-					dist[v] = du + 1
-					ws.order = append(ws.order, v)
-				}
-				if dist[v] == du+1 {
-					sigma[v] += su
-				}
-			}
+			frontierEdges += int64(g.Degree(u))
 		}
+		remaining -= frontierEdges
+		frontierEnd := len(ws.order)
+		if hybrid && frontierEdges > remaining/bfs.HybridAlpha && int64(len(frontier)) > n/bfs.HybridBeta {
+			ws.bottomUpLevel(g, frontier)
+		} else {
+			topDownLevel(g, frontier, dist, sigma, &ws.order)
+		}
+		if len(ws.order) == frontierEnd {
+			break
+		}
+		ws.levelStart = append(ws.levelStart, frontierEnd)
 		frontier = ws.order[frontierEnd:]
 	}
-	// Dependency accumulation in reverse visitation order; within a level
-	// the order is immaterial because predecessors sit strictly shallower.
-	for i := len(ws.order) - 1; i > 0; i-- {
-		w := ws.order[i]
-		coef := (1 + delta[w]) / sigma[w]
-		dw := dist[w]
-		for _, v := range g.Neighbors(w) {
-			if dist[v] == dw-1 {
-				delta[v] += sigma[v] * coef
+	backwardSweep(g, s, ws, sink)
+}
+
+// topDownLevel expands the frontier push-style: the classic Brandes step,
+// O(frontier out-edges).
+func topDownLevel(g *graph.Graph, frontier []int32, dist []int32, sigma []float64, order *[]int32) {
+	for _, u := range frontier {
+		du := dist[u]
+		su := sigma[u]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = du + 1
+				*order = append(*order, v)
+			}
+			if dist[v] == du+1 {
+				sigma[v] += su
 			}
 		}
-		par.AddFloat64(&scores[w], scale*delta[w])
+	}
+}
+
+// bottomUpLevel discovers the next level pull-style: every unvisited
+// vertex scans its own adjacency for frontier members (bitmap test) and
+// sums their path counts in one shot. O(unvisited-vertex edges), which on
+// hub levels is far less than the frontier's out-edges.
+func (ws *workspace) bottomUpLevel(g *graph.Graph, frontier []int32) {
+	if ws.front == nil {
+		ws.front = newBitset(ws.n)
+	}
+	front := ws.front
+	front.clear()
+	for _, u := range frontier {
+		front.set(u)
+	}
+	d := ws.dist[frontier[0]] + 1
+	dist, sigma := ws.dist, ws.sigma
+	for v := int32(0); int(v) < ws.n; v++ {
+		if dist[v] != -1 {
+			continue
+		}
+		var sv float64
+		for _, u := range g.Neighbors(v) {
+			if front.has(u) {
+				sv += sigma[u]
+			}
+		}
+		if sv != 0 {
+			dist[v] = d
+			sigma[v] = sv
+			ws.order = append(ws.order, v)
+		}
+	}
+}
+
+// backwardSweep evaluates the Brandes dependency recurrence pull-style,
+// deepest level first: delta[v] sums sigma[v]/sigma[w]·(1+delta[w]) over
+// v's successors w in sorted adjacency order. Pulling makes each vertex
+// the only writer of its own delta entry and fixes the floating-point
+// summation order independently of visitation order.
+func backwardSweep(g *graph.Graph, s int32, ws *workspace, sink scoreSink) {
+	dist, sigma, delta := ws.dist, ws.sigma, ws.delta
+	for li := len(ws.levelStart) - 1; li >= 0; li-- {
+		lo := ws.levelStart[li]
+		hi := len(ws.order)
+		if li+1 < len(ws.levelStart) {
+			hi = ws.levelStart[li+1]
+		}
+		for _, v := range ws.order[lo:hi] {
+			dv := dist[v]
+			sv := sigma[v]
+			var dsum float64
+			for _, w := range g.Neighbors(v) {
+				if dist[w] == dv+1 {
+					dsum += sv / sigma[w] * (1 + delta[w])
+				}
+			}
+			delta[v] = dsum
+			if v != s {
+				sink.add(v, dsum)
+			}
+		}
 	}
 }
 
 // brandesSourceFine is the fine-grained variant: each level's sigma and
-// delta sweeps run as parallel pull-style loops (no atomics needed because
-// each vertex writes only its own entry). It exists for the parallelism
-// ablation; coarse source-level parallelism usually wins when many sources
-// are in flight.
-func brandesSourceFine(g *graph.Graph, s int32, ws *workspace, scores []uint64, scale float64) {
+// delta sweeps run as guided-scheduled parallel pull loops (no atomics
+// needed because each vertex writes only its own entry — including its
+// score-sink entry, so striped accumulation stays race-free here too). It
+// exists for the parallelism ablation; coarse source-level parallelism
+// usually wins when many sources are in flight.
+func brandesSourceFine(g *graph.Graph, s int32, ws *workspace, sink scoreSink) {
+	defer ws.reset()
 	dist, sigma, delta := ws.dist, ws.sigma, ws.delta
 	dist[s] = 0
 	sigma[s] = 1
@@ -121,17 +228,21 @@ func brandesSourceFine(g *graph.Graph, s int32, ws *workspace, scores []uint64, 
 			break
 		}
 		ws.levelStart = append(ws.levelStart, frontierEnd)
-		// Sigma: pull from predecessors, parallel and race-free.
-		par.For(len(next), func(i int) {
-			v := next[i]
-			dv := dist[v]
-			var sv float64
-			for _, u := range g.Neighbors(v) {
-				if dist[u] == dv-1 {
-					sv += sigma[u]
+		// Sigma: pull from predecessors, parallel and race-free. Guided
+		// scheduling keeps a worker that drew a run of hubs from
+		// stranding the level's tail.
+		par.ForGuided(len(next), 128, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := next[i]
+				dv := dist[v]
+				var sv float64
+				for _, u := range g.Neighbors(v) {
+					if dist[u] == dv-1 {
+						sv += sigma[u]
+					}
 				}
+				sigma[v] = sv
 			}
-			sigma[v] = sv
 		})
 		frontier = ws.order[frontierEnd:]
 	}
@@ -143,18 +254,21 @@ func brandesSourceFine(g *graph.Graph, s int32, ws *workspace, scores []uint64, 
 			hi = ws.levelStart[li+1]
 		}
 		lvl := ws.order[lo:hi]
-		par.For(len(lvl), func(i int) {
-			v := lvl[i]
-			dv := dist[v]
-			var dsum float64
-			for _, w := range g.Neighbors(v) {
-				if dist[w] == dv+1 {
-					dsum += sigma[v] / sigma[w] * (1 + delta[w])
+		par.ForGuided(len(lvl), 128, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := lvl[i]
+				dv := dist[v]
+				sv := sigma[v]
+				var dsum float64
+				for _, w := range g.Neighbors(v) {
+					if dist[w] == dv+1 {
+						dsum += sv / sigma[w] * (1 + delta[w])
+					}
 				}
-			}
-			delta[v] = dsum
-			if v != s {
-				par.AddFloat64(&scores[v], scale*dsum)
+				delta[v] = dsum
+				if v != s {
+					sink.add(v, dsum)
+				}
 			}
 		})
 	}

@@ -6,7 +6,7 @@ import (
 )
 
 // kbcSource accumulates one source's k-betweenness contributions into
-// scores. Following Jiang, Ediger & Bader, it counts walks of length up to
+// sink. Following Jiang, Ediger & Bader, it counts walks of length up to
 // k beyond the shortest path: after a BFS fixes distances, a forward sweep
 // in path-length order computes sigma[v][j] — the number of admissible
 // walks from s reaching v with slack j in [0, k] — and a backward sweep
@@ -21,7 +21,7 @@ import (
 // The source never appears as an intermediate or target vertex: walks
 // re-entering s are not counted (sigma[s][j>0] stays 0 and s is skipped in
 // the backward sums).
-func kbcSource(g *graph.Graph, s int32, ws *workspace, scores []uint64, scale float64) {
+func kbcSource(g *graph.Graph, s int32, ws *workspace, sink scoreSink) {
 	defer ws.reset()
 	k := ws.k
 	stride := k + 1
@@ -79,7 +79,7 @@ func kbcSource(g *graph.Graph, s int32, ws *workspace, scores []uint64, scale fl
 		}
 		for d := dLo; d <= dHi; d++ {
 			lvl := levelSlice(d)
-			par.ForChunked(len(lvl), 256, func(lo, hi int) {
+			par.ForGuided(len(lvl), 128, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					v := lvl[i]
 					if v == s {
@@ -124,7 +124,7 @@ func kbcSource(g *graph.Graph, s int32, ws *workspace, scores []uint64, scale fl
 		}
 		for d := dLo; d <= dHi; d++ {
 			lvl := levelSlice(d)
-			par.ForChunked(len(lvl), 256, func(lo, hi int) {
+			par.ForGuided(len(lvl), 128, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					v := lvl[i]
 					var dv float64
@@ -177,7 +177,7 @@ func kbcSource(g *graph.Graph, s int32, ws *workspace, scores []uint64, scale fl
 			credit -= sigma[base] * float64(bt) / sigTot[v]
 		}
 		if credit > 0 {
-			par.AddFloat64(&scores[v], scale*credit)
+			sink.add(v, credit)
 		}
 	}
 }

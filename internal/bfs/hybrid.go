@@ -16,10 +16,17 @@ type Degreer interface {
 
 // Beamer-style direction-optimizing switch thresholds: go bottom-up when
 // the frontier's out-edges exceed remaining-edges/alpha, return top-down
-// when the frontier shrinks below vertices/beta.
+// when the frontier shrinks below vertices/beta. Exported because the
+// betweenness kernel's direction-optimized forward sweeps (internal/bc)
+// share them — one tuning point for every hybrid traversal in the tree.
 const (
-	hybridAlpha = 14
-	hybridBeta  = 24
+	HybridAlpha = 14
+	HybridBeta  = 24
+)
+
+const (
+	hybridAlpha = HybridAlpha
+	hybridBeta  = HybridBeta
 )
 
 // HybridSearch runs a direction-optimizing BFS on an undirected graph:

@@ -7,6 +7,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Graph is a static graph in compressed sparse row format. For a directed
@@ -19,6 +21,15 @@ type Graph struct {
 	adj      []int32 // concatenated sorted adjacency lists
 	weights  []int32 // optional, aligned with adj; nil when unweighted
 	directed bool
+
+	// undirectedOnce memoizes Undirected(): a directed graph is
+	// symmetrized at most once per Graph lifetime, no matter how many
+	// kernels (or concurrent server requests) ask for the undirected
+	// view. Graphs are immutable after construction, so the memo can
+	// never go stale.
+	undirectedOnce   sync.Once
+	undirected       *Graph
+	undirectedBuilds atomic.Int32
 }
 
 // NumVertices returns the number of vertices.

@@ -2,21 +2,38 @@ package graph
 
 import "graphct/internal/par"
 
-// Undirected returns an undirected copy of g: every arc u->v becomes edge
+// Undirected returns the undirected view of g: every arc u->v becomes edge
 // {u,v}, duplicates merged. The GraphCT utility "convert a directed graph to
 // an undirected graph". If g is already undirected it is returned as is.
+//
+// The view is memoized: the first call symmetrizes and every later call —
+// including concurrent ones, which block on the first — returns the same
+// *Graph. Symmetrization is O(m log m); callers like the centrality kernels
+// and the serving path request the view once per kernel invocation, so
+// without the memo a resident directed graph would be re-symmetrized on
+// every request.
 func (g *Graph) Undirected() *Graph {
 	if !g.directed {
 		return g
 	}
-	edges := make([]Edge, 0, g.NumArcs())
-	for v := 0; v < g.NumVertices(); v++ {
-		for _, w := range g.Neighbors(int32(v)) {
-			edges = append(edges, Edge{int32(v), w})
+	g.undirectedOnce.Do(func() {
+		g.undirectedBuilds.Add(1)
+		edges := make([]Edge, 0, g.NumArcs())
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, w := range g.Neighbors(int32(v)) {
+				edges = append(edges, Edge{int32(v), w})
+			}
 		}
-	}
-	u, _ := FromEdges(g.NumVertices(), edges, Options{KeepSelfLoops: true})
-	return u
+		g.undirected, _ = FromEdges(g.NumVertices(), edges, Options{KeepSelfLoops: true})
+	})
+	return g.undirected
+}
+
+// UndirectedBuilds reports how many times this graph has actually been
+// symmetrized (0 or 1 once Undirected has memoized). Tests and the server
+// use it to assert that concurrent requests share one symmetrization.
+func (g *Graph) UndirectedBuilds() int {
+	return int(g.undirectedBuilds.Load())
 }
 
 // Reverse returns the transpose of a directed graph (in-neighbors become

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -287,5 +288,56 @@ func TestMaxVertexHelper(t *testing.T) {
 	}
 	if MaxVertex([]Edge{{0, 5}, {3, 2}}) != 6 {
 		t.Fatal("MaxVertex wrong")
+	}
+}
+
+func TestUndirectedMemoized(t *testing.T) {
+	g, err := FromEdges(4, []Edge{{0, 1}, {1, 2}, {3, 0}}, Options{Directed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.UndirectedBuilds() != 0 {
+		t.Fatalf("symmetrized before any Undirected() call: %d", g.UndirectedBuilds())
+	}
+	u1 := g.Undirected()
+	u2 := g.Undirected()
+	if u1 != u2 {
+		t.Fatal("Undirected() returned distinct views across calls")
+	}
+	if g.UndirectedBuilds() != 1 {
+		t.Fatalf("builds = %d, want 1", g.UndirectedBuilds())
+	}
+	if u1.Directed() {
+		t.Fatal("undirected view reports directed")
+	}
+	// The view of an undirected graph is itself, never rebuilt.
+	if u1.Undirected() != u1 {
+		t.Fatal("Undirected() of an undirected graph is not itself")
+	}
+}
+
+func TestUndirectedMemoConcurrent(t *testing.T) {
+	g, err := FromEdges(100, []Edge{{0, 1}, {5, 9}, {99, 3}, {42, 7}}, Options{Directed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	views := make([]*Graph, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer wg.Done()
+			views[i] = g.Undirected()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if views[i] != views[0] {
+			t.Fatal("concurrent Undirected() calls returned distinct views")
+		}
+	}
+	if g.UndirectedBuilds() != 1 {
+		t.Fatalf("concurrent calls symmetrized %d times, want 1", g.UndirectedBuilds())
 	}
 }

@@ -328,3 +328,84 @@ func TestForEachWorkerPartitionExample(t *testing.T) {
 		}
 	}
 }
+
+func TestForGuidedCoversAllIterations(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1009, 100000} {
+		data := make([]int32, n)
+		ForGuided(n, 0, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad chunk [%d, %d) for n=%d", lo, hi, n)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&data[i], 1)
+			}
+		})
+		for i, v := range data {
+			if v != 1 {
+				t.Fatalf("n=%d: index %d hit %d times", n, i, v)
+			}
+		}
+	}
+}
+
+func TestForGuidedRespectsMinChunk(t *testing.T) {
+	const n, minChunk = 10000, 256
+	var small atomic.Int32
+	ForGuided(n, minChunk, func(lo, hi int) {
+		// Only the final chunk (clipped at n) may be under minChunk.
+		if hi-lo < minChunk && hi != n {
+			small.Add(1)
+		}
+	})
+	if small.Load() != 0 {
+		t.Fatalf("%d interior chunks under minChunk", small.Load())
+	}
+}
+
+func TestFoldSlicesTreeReduction(t *testing.T) {
+	const n = 5000
+	for stripes := 0; stripes <= 9; stripes++ {
+		dst := make([]float64, n)
+		srcs := make([][]float64, stripes)
+		for i := range srcs {
+			srcs[i] = make([]float64, n)
+			for j := range srcs[i] {
+				srcs[i][j] = float64(i + 1)
+			}
+		}
+		// Σ_{i=1..stripes} i, at every index.
+		want := float64(stripes*(stripes+1)) / 2
+		SumSlices(dst, srcs)
+		for j := 0; j < n; j++ {
+			if dst[j] != want {
+				t.Fatalf("stripes=%d dst[%d] = %v, want %v", stripes, j, dst[j], want)
+			}
+		}
+	}
+}
+
+func TestFoldSlicesCustomOp(t *testing.T) {
+	dst := []int64{10, 0, 7}
+	srcs := [][]int64{{1, 5, 2}, {4, 3, 9}}
+	FoldSlices(dst, srcs, func(a, b int64) int64 {
+		if a >= b {
+			return a
+		}
+		return b
+	})
+	want := []int64{10, 5, 9}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestFoldSlicesLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched stripe length")
+		}
+	}()
+	SumSlices(make([]float64, 4), [][]float64{make([]float64, 3)})
+}

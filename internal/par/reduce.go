@@ -71,6 +71,51 @@ func reduce[T Number](n int, f func(i int) T, combine func(a, b T) T, id T) T {
 	return acc
 }
 
+// FoldSlices folds the stripe slices elementwise into dst with op, using a
+// parallel tree reduction: stripes are combined pairwise in log₂(len)
+// rounds, each round a single parallel loop in which every worker owns a
+// contiguous index range across all pairs (sequential streams through each
+// stripe, no sharing). The stripes are scratch — their contents are
+// consumed by the fold. Every stripe must have len(dst). This is the merge
+// step of striped kernels: each worker accumulates privately, then one
+// fold replaces the millions of contended atomic adds a shared array would
+// have cost.
+func FoldSlices[T Number](dst []T, stripes [][]T, op func(a, b T) T) {
+	n := len(dst)
+	for _, s := range stripes {
+		if len(s) != n {
+			panic("par: FoldSlices stripe length mismatch")
+		}
+	}
+	m := len(stripes)
+	for m > 1 {
+		h := (m + 1) / 2
+		ForChunked(n, 0, func(lo, hi int) {
+			for i := 0; i+h < m; i++ {
+				a, b := stripes[i], stripes[i+h]
+				for j := lo; j < hi; j++ {
+					a[j] = op(a[j], b[j])
+				}
+			}
+		})
+		m = h
+	}
+	if m == 1 {
+		s := stripes[0]
+		ForChunked(n, 0, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				dst[j] = op(dst[j], s[j])
+			}
+		})
+	}
+}
+
+// SumSlices adds the stripe slices elementwise into dst (tree reduction;
+// see FoldSlices — stripes are consumed).
+func SumSlices[T Number](dst []T, stripes [][]T) {
+	FoldSlices(dst, stripes, func(a, b T) T { return a + b })
+}
+
 // Count returns the number of i in [0, n) for which pred(i) holds.
 func Count(n int, pred func(i int) bool) int64 {
 	return ReduceSum(n, func(i int) int64 {

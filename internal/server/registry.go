@@ -24,6 +24,16 @@ type GraphEntry struct {
 	Graph *graph.Graph
 }
 
+// Undirected returns the entry's memoized undirected view. The memo lives
+// on the graph itself, so it is scoped to this entry's epoch exactly like
+// the result cache: however many concurrent centrality requests hit a
+// directed graph, it is symmetrized once per epoch, and reloading a graph
+// under the same name (new entry, new epoch, new *Graph) naturally drops
+// the stale view along with the stale cache keys.
+func (e *GraphEntry) Undirected() *graph.Graph {
+	return e.Graph.Undirected()
+}
+
 // Registry maps names to in-memory CSR graphs. All methods are safe for
 // concurrent use; lookups are cheap (RWMutex read path) because every
 // kernel request resolves its graph here.

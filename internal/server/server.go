@@ -302,7 +302,11 @@ func (s *Server) parseKernel(kernel string, e *GraphEntry, q url.Values) (string
 			return "", nil, fmt.Errorf("bad top %q", q.Get("top"))
 		}
 		return fmt.Sprintf("k=%d&samples=%d&top=%d", k, samples, top), func(ctx context.Context) (any, error) {
-			res, err := tk().KCentralityCtx(ctx, k, samples)
+			// Centrality treats the graph as undirected; resolving the
+			// entry's memoized view here keeps concurrent requests on a
+			// directed graph from each paying (or racing to share) the
+			// symmetrization inside the kernel.
+			res, err := core.New(e.Undirected(), core.WithSeed(s.cfg.Seed)).KCentralityCtx(ctx, k, samples)
 			if err != nil {
 				return nil, err
 			}

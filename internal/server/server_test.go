@@ -442,3 +442,49 @@ func TestPoolAdmission(t *testing.T) {
 		t.Fatalf("pool not drained: running=%d queued=%d", p.Running(), p.QueueDepth())
 	}
 }
+
+// TestConcurrentRequestsShareOneSymmetrization pins the per-epoch
+// undirected memo: 8 concurrent kcentrality requests with distinct
+// parameters (so neither the cache nor singleflight can merge them) on a
+// directed graph must trigger exactly one symmetrization.
+func TestConcurrentRequestsShareOneSymmetrization(t *testing.T) {
+	dg := gen.Follower(gen.DefaultFollower(300, 1))
+	if !dg.Directed() {
+		t.Fatal("test wants a directed graph")
+	}
+	_, ts, e := newTestServer(t, Config{MaxConcurrent: 8, MaxQueued: 64}, dg)
+
+	const requests = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, requests)
+	wg.Add(requests)
+	for i := 0; i < requests; i++ {
+		go func(i int) {
+			defer wg.Done()
+			// Distinct samples => distinct cache keys => every request
+			// executes a kernel of its own.
+			url := fmt.Sprintf("%s/graphs/g/kcentrality?samples=%d", ts.URL, 16+i)
+			resp, err := http.Get(url)
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if builds := e.Graph.UndirectedBuilds(); builds != 1 {
+		t.Fatalf("%d concurrent kcentrality requests symmetrized %d times, want 1", requests, builds)
+	}
+	if e.Undirected() != e.Graph.Undirected() {
+		t.Fatal("registry entry and graph disagree on the undirected view")
+	}
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Reproducible kernel benchmark harness: runs cmd/bench with its fixed
+# default seeds and writes BENCH_PR2.json at the repo root, so the perf
+# trajectory of the betweenness kernels is comparable across PRs and
+# machines. Pass cmd/bench flags through, e.g.:
+#
+#   scripts/bench.sh                    # scale-16 acceptance run
+#   scripts/bench.sh -scale 14 -out -   # quicker, print to stdout
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/bench "$@"
