@@ -5,8 +5,11 @@
 package graphct_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -19,6 +22,7 @@ import (
 	"graphct/internal/rank"
 	"graphct/internal/server"
 	"graphct/internal/stats"
+	"graphct/internal/stream"
 	"graphct/internal/tweets"
 )
 
@@ -298,6 +302,111 @@ func BenchmarkServerThroughput(b *testing.B) {
 			fetch(b, url)
 		}
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+}
+
+// BenchmarkLiveIngest measures the live-update pipeline: "apply" is the
+// raw sharded batch-apply rate with incremental triangle maintenance
+// (edges/s = effective mutations per second), "snapshot" is the epoch
+// materialization latency with the steady-state dirty fraction one batch
+// leaves behind, and "http" is the end-to-end ingest endpoint including
+// the binary decode, admission and epoch publishing.
+func BenchmarkLiveIngest(b *testing.B) {
+	const n = 1 << 14
+	const batchSize = 1 << 10
+	mkBatches := func(count int) [][]stream.Update {
+		rng := rand.New(rand.NewSource(7))
+		out := make([][]stream.Update, count)
+		for i := range out {
+			batch := make([]stream.Update, batchSize)
+			for j := range batch {
+				batch[j] = stream.Update{
+					U:    int32(rng.Intn(n)),
+					V:    int32(rng.Intn(n)),
+					Time: int64(i*batchSize + j),
+					Del:  rng.Intn(8) == 0,
+				}
+			}
+			out[i] = batch
+		}
+		return out
+	}
+
+	b.Run("apply", func(b *testing.B) {
+		batches := mkBatches(64)
+		s := stream.New(n)
+		var applied int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := s.ApplyBatch(batches[i%len(batches)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			applied += int64(res.Inserted + res.Deleted)
+		}
+		b.ReportMetric(float64(applied)/b.Elapsed().Seconds(), "edges/s")
+	})
+
+	b.Run("snapshot", func(b *testing.B) {
+		batches := mkBatches(64)
+		s := stream.New(n)
+		for _, batch := range batches {
+			if _, err := s.ApplyBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Snapshot() // steady state: each iteration re-dirties one batch
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if _, err := s.ApplyBatch(batches[i%len(batches)]); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			s.Snapshot()
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e6, "ms/snapshot")
+	})
+
+	b.Run("http", func(b *testing.B) {
+		batches := mkBatches(64)
+		frames := make([][]byte, len(batches))
+		for i, batch := range batches {
+			var buf bytes.Buffer
+			if err := stream.EncodeUpdates(&buf, batch); err != nil {
+				b.Fatal(err)
+			}
+			frames[i] = buf.Bytes()
+		}
+		reg := server.NewRegistry()
+		if _, err := reg.AddLive("live", n); err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(server.New(reg, server.Config{
+			IngestQueued: 1 << 16, SnapshotEvery: 16 * batchSize,
+		}))
+		defer ts.Close()
+		client := ts.Client()
+		var applied int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := client.Post(ts.URL+"/graphs/live/ingest",
+				stream.WireContentType, bytes.NewReader(frames[i%len(frames)]))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var res struct{ Inserted, Deleted int }
+			if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+			applied += int64(res.Inserted + res.Deleted)
+		}
+		b.ReportMetric(float64(applied)/b.Elapsed().Seconds(), "edges/s")
+		b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "updates/s")
 	})
 }
 

@@ -15,8 +15,12 @@
 //	GET    /metrics
 //	GET    /graphs
 //	POST   /graphs                     {"name","format","path","directed"}
+//	                                   or {"name","format":"live","vertices":N}
 //	DELETE /graphs/{name}
 //	POST   /graphs/{name}/extract      {"component":N,"as":"newname"}
+//	POST   /graphs/{name}/ingest       JSON [{"u","v","time","del"}] or the
+//	                                   binary framing (see internal/stream)
+//	POST   /graphs/{name}/snapshot     force-publish a live graph's epoch
 //	GET    /graphs/{name}/components
 //	GET    /graphs/{name}/stats
 //	GET    /graphs/{name}/degrees
@@ -27,7 +31,12 @@
 //	GET    /graphs/{name}/bfs?src=V&depth=D
 //	GET    /graphs/{name}/sssp?src=V
 //
-// Kernel endpoints accept ?timeout_ms=N for a per-request deadline. On
+// Kernel endpoints accept ?timeout_ms=N for a per-request deadline. Live
+// graphs (created with format "live", or preloaded via
+// -graph NAME=live:VERTICES) accept batched edge updates on their ingest
+// endpoint; every -snapshot-every effective mutations the daemon publishes
+// a new immutable epoch that subsequent kernel requests resolve, while
+// requests already in flight keep their old epoch's view. On
 // SIGINT/SIGTERM the daemon stops accepting connections and drains
 // in-flight kernels before exiting.
 package main
@@ -41,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -62,8 +72,12 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight kernels")
 	seed := flag.Int64("seed", 1, "random seed for sampling kernels")
 	directed := flag.Bool("directed", false, "load -graph files as directed")
+	snapshotEvery := flag.Int64("snapshot-every", 4096, "publish a live-graph epoch every N effective mutations (<0 = every batch)")
+	ingestConcurrent := flag.Int("ingest-concurrent", 2, "ingest batches applying at once")
+	ingestQueued := flag.Int("ingest-queue", 64, "ingest batches waiting for a slot before 429")
+	maxBatch := flag.Int("max-batch", 1<<20, "updates accepted per ingest request")
 	var graphs graphFlags
-	flag.Var(&graphs, "graph", "preload NAME=FORMAT:PATH (formats: dimacs, edgelist, binary; repeatable)")
+	flag.Var(&graphs, "graph", "preload NAME=FORMAT:PATH (formats: dimacs, edgelist, binary) or NAME=live:VERTICES (repeatable)")
 	flag.Parse()
 
 	reg := server.NewRegistry()
@@ -77,6 +91,17 @@ func main() {
 			log.Fatalf("graphctd: bad -graph %q (want NAME=FORMAT:PATH)", spec)
 		}
 		start := time.Now()
+		if format == "live" {
+			n, err := strconv.Atoi(path)
+			if err != nil {
+				log.Fatalf("graphctd: bad -graph %q (want NAME=live:VERTICES)", spec)
+			}
+			if _, err := reg.AddLive(name, n); err != nil {
+				log.Fatalf("graphctd: %v", err)
+			}
+			log.Printf("created live graph %q over %d vertices", name, n)
+			continue
+		}
 		e, err := reg.Load(name, format, path, *directed)
 		if err != nil {
 			log.Fatalf("graphctd: %v", err)
@@ -86,11 +111,15 @@ func main() {
 	}
 
 	srv := server.New(reg, server.Config{
-		MaxConcurrent:  *maxConcurrent,
-		MaxQueued:      *maxQueued,
-		CacheBytes:     *cacheBytes,
-		DefaultTimeout: *timeout,
-		Seed:           *seed,
+		MaxConcurrent:    *maxConcurrent,
+		MaxQueued:        *maxQueued,
+		CacheBytes:       *cacheBytes,
+		DefaultTimeout:   *timeout,
+		Seed:             *seed,
+		IngestConcurrent: *ingestConcurrent,
+		IngestQueued:     *ingestQueued,
+		SnapshotEvery:    *snapshotEvery,
+		MaxBatch:         *maxBatch,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

@@ -1,20 +1,34 @@
 // Command tweetgen emits a synthetic Twitter stream (the Spinn3r-harvest
-// substitute) or the DIMACS mention graph built from it.
+// substitute) or the DIMACS mention graph built from it, or replays the
+// stream as live updates against a running graphctd.
 //
 // Usage:
 //
 //	tweetgen -preset h1n1 -scale 0.25 -seed 1            # tweets to stdout
 //	tweetgen -preset atlflood -format dimacs > graph.txt # mention graph
 //	tweetgen -users 5000 -tweets 8000 -topic storm       # custom corpus
+//	tweetgen -preset h1n1 -stream http://localhost:8423 -name h1n1
+//
+// In -stream mode the corpus's mention interactions are sent in arrival
+// order to graphctd's ingest endpoint in timestamped batches, creating
+// the target live graph first. The daemon maintains clustering
+// coefficients incrementally and publishes epoch snapshots as the batches
+// accumulate, so kernels can be queried while the replay runs.
 package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"time"
 
 	"graphct/internal/dimacs"
+	"graphct/internal/stream"
 	"graphct/internal/tweets"
 )
 
@@ -28,6 +42,10 @@ func main() {
 	ntweets := flag.Int("tweets", 2000, "custom corpus: messages")
 	topic := flag.String("topic", "topic", "custom corpus: keyword/hashtag")
 	nospam := flag.Bool("nospam", false, "strip spam from the stream (the paper's non-spam harvests)")
+	streamURL := flag.String("stream", "", "replay the corpus against a graphctd base URL (e.g. http://localhost:8423)")
+	name := flag.String("name", "tweets", "stream mode: live graph name to create and fill")
+	batchSize := flag.Int("batch", 512, "stream mode: updates per ingest batch")
+	useJSON := flag.Bool("json", false, "stream mode: send JSON batches instead of the binary framing")
 	flag.Parse()
 
 	var opt tweets.CorpusOptions
@@ -52,6 +70,12 @@ func main() {
 	if *nospam {
 		ts = tweets.FilterSpam(ts, 0)
 	}
+	if *streamURL != "" {
+		if err := replay(*streamURL, *name, ts, *batchSize, !*useJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	switch *format {
 	case "tweets":
 		w := bufio.NewWriter(os.Stdout)
@@ -74,6 +98,145 @@ func main() {
 	default:
 		fatal(fmt.Sprintf("unknown format %q", *format))
 	}
+}
+
+// replay drives a live graphctd ingest session: one intern pass sizes the
+// user universe (ingest validates vertex ids against the live graph's
+// fixed vertex count, so the graph must be created full-size up front),
+// then the mention interactions stream to the ingest endpoint in arrival
+// order. 429 responses — the ingest queue's backpressure — back off and
+// retry rather than dropping updates.
+func replay(base, name string, ts []tweets.Tweet, batchSize int, binary bool) error {
+	ug := tweets.Build(ts)
+	var ups []stream.Update
+	for _, t := range ts {
+		author, _ := ug.Lookup(t.Author)
+		for _, m := range tweets.Mentions(t.Text) {
+			target, _ := ug.Lookup(m)
+			if target == author {
+				continue
+			}
+			ups = append(ups, stream.Update{U: author, V: target, Time: t.ID})
+		}
+	}
+	n := ug.Graph.NumVertices()
+	if n == 0 {
+		return fmt.Errorf("corpus has no users to stream")
+	}
+
+	body, _ := json.Marshal(map[string]any{"name": name, "format": "live", "vertices": n})
+	resp, err := http.Post(base+"/graphs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if err := drain(resp, http.StatusCreated); err != nil {
+		return fmt.Errorf("create live graph %q: %w", name, err)
+	}
+
+	start := time.Now()
+	sent, batches, snapshots := 0, 0, 0
+	for lo := 0; lo < len(ups); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(ups) {
+			hi = len(ups)
+		}
+		res, err := postBatch(base, name, ups[lo:hi], binary)
+		if err != nil {
+			return err
+		}
+		sent += res.Accepted
+		batches++
+		if res.Snapshotted {
+			snapshots++
+		}
+	}
+	// Flush so every streamed interaction is visible to the next kernel.
+	resp, err = http.Post(base+"/graphs/"+name+"/snapshot", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	if err := drain(resp, http.StatusOK); err != nil {
+		return fmt.Errorf("snapshot %q: %w", name, err)
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "tweetgen: streamed %d updates in %d batches (%d snapshots) in %v (%.0f updates/s)\n",
+		sent, batches, snapshots, elapsed.Round(time.Millisecond),
+		float64(sent)/elapsed.Seconds())
+	return nil
+}
+
+type ingestReply struct {
+	Accepted    int    `json:"accepted"`
+	Edges       int64  `json:"edges"`
+	Epoch       uint64 `json:"epoch"`
+	Snapshotted bool   `json:"snapshotted"`
+}
+
+// postBatch sends one batch, retrying with exponential backoff while the
+// ingest queue signals 429.
+func postBatch(base, name string, batch []stream.Update, binary bool) (ingestReply, error) {
+	var buf bytes.Buffer
+	contentType := "application/json"
+	if binary {
+		contentType = stream.WireContentType
+		if err := stream.EncodeUpdates(&buf, batch); err != nil {
+			return ingestReply{}, err
+		}
+	} else {
+		type ju struct {
+			U    int32 `json:"u"`
+			V    int32 `json:"v"`
+			Time int64 `json:"time,omitempty"`
+			Del  bool  `json:"del,omitempty"`
+		}
+		out := make([]ju, len(batch))
+		for i, up := range batch {
+			out[i] = ju{U: up.U, V: up.V, Time: up.Time, Del: up.Del}
+		}
+		if err := json.NewEncoder(&buf).Encode(out); err != nil {
+			return ingestReply{}, err
+		}
+	}
+	backoff := 10 * time.Millisecond
+	for {
+		resp, err := http.Post(base+"/graphs/"+name+"/ingest", contentType, bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return ingestReply{}, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			drainBody(resp)
+			time.Sleep(backoff)
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			err := drain(resp, http.StatusOK)
+			return ingestReply{}, fmt.Errorf("ingest: %w", err)
+		}
+		var rep ingestReply
+		err = json.NewDecoder(resp.Body).Decode(&rep)
+		drainBody(resp)
+		return rep, err
+	}
+}
+
+func drain(resp *http.Response, want int) error {
+	defer drainBody(resp)
+	if resp.StatusCode == want {
+		return nil
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&e)
+	return fmt.Errorf("HTTP %d: %s", resp.StatusCode, e.Error)
+}
+
+func drainBody(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
 }
 
 func fatal(v any) {

@@ -29,6 +29,9 @@ func TestParseBasic(t *testing.T) {
 	if g.NumVertices() != 4 || g.NumEdges() != 4 {
 		t.Fatalf("parsed %v", g)
 	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
 	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
 		t.Fatal("symmetrization missing")
 	}
@@ -64,6 +67,9 @@ func TestParseDirected(t *testing.T) {
 	}
 	if !g.Directed() || g.NumArcs() != 2 {
 		t.Fatalf("directed parse = %v", g)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
 	}
 	if g.HasEdge(1, 0) {
 		t.Fatal("directed graph has reverse arc")

@@ -19,6 +19,9 @@ func TestParseEdgeListBasic(t *testing.T) {
 	if g.NumVertices() != 3 || g.NumEdges() != 3 {
 		t.Fatalf("parsed %v", g)
 	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
 	if !g.HasEdge(1, 0) {
 		t.Fatal("symmetrization missing")
 	}

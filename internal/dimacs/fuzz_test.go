@@ -5,9 +5,11 @@ import (
 	"testing"
 )
 
-// FuzzParseBytes hardens the DIMACS parser: arbitrary input must either
+// FuzzDimacsParse hardens the DIMACS parser: arbitrary input must either
 // parse into a graph passing Validate or return an error — never panic.
-func FuzzParseBytes(f *testing.F) {
+// Beyond the f.Add seeds, a committed corpus lives under
+// testdata/fuzz/FuzzDimacsParse; CI runs a short -fuzz smoke over it.
+func FuzzDimacsParse(f *testing.F) {
 	f.Add([]byte(sample))
 	f.Add([]byte("p edge 2 1\ne 1 2 1"))
 	f.Add([]byte("c only a comment"))

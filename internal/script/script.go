@@ -111,35 +111,24 @@ func (in *Interp) RunFile(path string) error {
 	return in.Run(f)
 }
 
-// Exec executes one script line.
+// Exec executes one script line: ParseLine does the static validation
+// (so malformed commands are rejected before any kernel state is touched
+// or mutated), then the matching handler runs with the interpreter's
+// graph. Handlers re-derive their typed arguments and add the
+// graph-dependent checks parsing cannot do.
 func (in *Interp) Exec(line string) error {
-	// Split off the "=> file" redirection first.
-	redirect := ""
-	hasRedirect := false
-	if idx := strings.Index(line, "=>"); idx >= 0 {
-		hasRedirect = true
-		redirect = strings.TrimSpace(line[idx+2:])
-		line = line[:idx]
+	c, err := ParseLine(line)
+	if err != nil {
+		return err
 	}
-	fields := strings.Fields(line)
-	if len(fields) > 0 && strings.HasPrefix(fields[0], "#") {
+	if c.Name == "" { // blank or comment
 		return nil
 	}
-	if hasRedirect && redirect == "" {
-		return parseErrf("missing file after \"=>\"")
-	}
-	if len(fields) == 0 {
-		if hasRedirect {
-			return parseErrf("\"=>\" redirect without a command")
-		}
-		return nil
-	}
-	cmd := strings.ToLower(fields[0])
-	args := fields[1:]
-	if cmd != "read" && cmd != "compare" && in.tk == nil {
+	args, redirect := c.Args, c.Redirect
+	if c.Name != "read" && c.Name != "compare" && in.tk == nil {
 		return parseErrf("no graph loaded (missing read command)")
 	}
-	switch cmd {
+	switch c.Name {
 	case "read":
 		return in.cmdRead(args)
 	case "print":
@@ -173,7 +162,7 @@ func (in *Interp) Exec(line string) error {
 	case "sssp":
 		return in.cmdSSSP(args, redirect)
 	default:
-		return parseErrf("unknown command %q", cmd)
+		return parseErrf("unknown command %q", c.Name)
 	}
 }
 

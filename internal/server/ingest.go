@@ -1,0 +1,203 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"graphct/internal/stream"
+)
+
+// Live is the mutable half of a live (ingest-enabled) graph. Successive
+// registry entries published under the same name share one Live: the
+// stream accumulates updates under the writer lock while readers keep
+// traversing the immutable snapshots of earlier epochs.
+//
+// The lock serializes whole batches — apply, snapshot decision and epoch
+// publication happen inside one critical section, so epochs are published
+// in application order and a snapshot always captures batch boundaries,
+// never a half-applied batch.
+type Live struct {
+	mu sync.Mutex
+	st *stream.Stream
+}
+
+// AddLive publishes an empty live graph over n vertices under name. The
+// initial entry carries the empty snapshot at a fresh epoch.
+func (r *Registry) AddLive(name string, n int) (*GraphEntry, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("live graph needs a positive vertex count, got %d", n)
+	}
+	live := &Live{st: stream.New(n)}
+	return r.addEntry(name, live.st.Snapshot(), live), nil
+}
+
+// ingestUpdate is the JSON wire form of one update.
+type ingestUpdate struct {
+	U    int32 `json:"u"`
+	V    int32 `json:"v"`
+	Time int64 `json:"time,omitempty"`
+	Del  bool  `json:"del,omitempty"`
+}
+
+// ingestResult is the ingest endpoint's response. Edges and Epoch are read
+// inside the writer critical section, so when Snapshotted is true, Edges
+// is exactly the edge count of the graph published at Epoch — the
+// invariant the race harness checks against kernel responses.
+type ingestResult struct {
+	Accepted    int    `json:"accepted"`
+	Inserted    int    `json:"inserted"`
+	Deleted     int    `json:"deleted"`
+	Ignored     int    `json:"ignored"`
+	Edges       int64  `json:"edges"`
+	Pending     int64  `json:"pending"`
+	Epoch       uint64 `json:"epoch"`
+	Snapshotted bool   `json:"snapshotted"`
+}
+
+// readBatch decodes the request body in either framing: the compact
+// binary format (Content-Type application/x-graphct-updates) or a JSON
+// array of {"u","v","time","del"} objects.
+func (s *Server) readBatch(r *http.Request) ([]stream.Update, error) {
+	if r.Header.Get("Content-Type") == stream.WireContentType {
+		return stream.DecodeUpdates(r.Body, s.cfg.MaxBatch)
+	}
+	var ups []ingestUpdate
+	if err := json.NewDecoder(r.Body).Decode(&ups); err != nil {
+		return nil, fmt.Errorf("%w: %v", stream.ErrWireFormat, err)
+	}
+	if len(ups) > s.cfg.MaxBatch {
+		return nil, fmt.Errorf("batch of %d updates exceeds limit %d", len(ups), s.cfg.MaxBatch)
+	}
+	out := make([]stream.Update, len(ups))
+	for i, up := range ups {
+		out[i] = stream.Update{U: up.U, V: up.V, Time: up.Time, Del: up.Del}
+	}
+	return out, nil
+}
+
+// handleIngest applies one batch of updates to a live graph. Batches pass
+// their own admission pool (separate from the kernel pool, so a burst of
+// writers cannot starve analysis traffic and vice versa), then apply
+// under the graph's writer lock. When the accumulated effective mutations
+// reach the snapshot threshold, the same critical section materializes an
+// incremental CSR snapshot and publishes it as a new epoch — atomically
+// invalidating cached results for the old epoch by keying.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no graph %q", name)
+		return
+	}
+	if e.Live == nil {
+		writeError(w, http.StatusConflict, "graph %q is static; only live graphs accept updates", name)
+		return
+	}
+	batch, err := s.readBatch(r)
+	if err != nil {
+		if errors.Is(err, stream.ErrWireFormat) {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		} else {
+			writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+		}
+		return
+	}
+	if err := s.ingest.Acquire(r.Context()); err != nil {
+		s.writeIngestError(w, err)
+		return
+	}
+	defer s.ingest.Release()
+	if s.beforeIngest != nil {
+		s.beforeIngest(name)
+	}
+
+	live := e.Live
+	live.mu.Lock()
+	start := time.Now()
+	res, err := live.st.ApplyBatch(batch)
+	applyDur := time.Since(start)
+	if err != nil {
+		live.mu.Unlock()
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	out := ingestResult{
+		Accepted: len(batch),
+		Inserted: res.Inserted,
+		Deleted:  res.Deleted,
+		Ignored:  res.Ignored,
+		Edges:    live.st.NumEdges(),
+		Epoch:    e.Epoch,
+	}
+	if live.st.SnapshotDue(s.cfg.SnapshotEvery) {
+		out.Epoch = s.publishSnapshot(name, live)
+		out.Snapshotted = true
+	}
+	out.Pending = live.st.PendingUpdates()
+	live.mu.Unlock()
+
+	s.metrics.IngestBatches.Add(1)
+	s.metrics.IngestUpdates.Add(int64(len(batch)))
+	s.metrics.IngestMutations.Add(int64(res.Inserted + res.Deleted))
+	s.metrics.ObserveLatency("ingest", applyDur)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSnapshot force-publishes a snapshot of a live graph regardless of
+// the threshold — the flush clients call before reading kernels that must
+// observe everything ingested so far. With no pending updates it reports
+// the already-current epoch without materializing.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no graph %q", name)
+		return
+	}
+	if e.Live == nil {
+		writeError(w, http.StatusConflict, "graph %q is static; nothing to snapshot", name)
+		return
+	}
+	live := e.Live
+	live.mu.Lock()
+	out := ingestResult{Edges: live.st.NumEdges(), Epoch: e.Epoch}
+	if live.st.PendingUpdates() > 0 {
+		out.Epoch = s.publishSnapshot(name, live)
+		out.Snapshotted = true
+	}
+	live.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// publishSnapshot materializes live's current state and installs it as a
+// new registry entry (fresh epoch) under name. Callers must hold live.mu:
+// the materialize-and-publish pair is what keeps epoch order identical to
+// batch application order.
+func (s *Server) publishSnapshot(name string, live *Live) uint64 {
+	start := time.Now()
+	g := live.st.Snapshot()
+	ne := s.reg.addEntry(name, g, live)
+	s.metrics.Snapshots.Add(1)
+	s.metrics.ObserveLatency("snapshot", time.Since(start))
+	return ne.Epoch
+}
+
+func (s *Server) writeIngestError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrQueueFull) {
+		s.metrics.IngestRejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	writeError(w, http.StatusGatewayTimeout, "ingest canceled: %v", err)
+}
+
+// epochHeader exposes which epoch served a kernel response, letting
+// clients correlate results with ingest/snapshot responses.
+func epochHeader(w http.ResponseWriter, epoch uint64) {
+	w.Header().Set("X-Graphct-Epoch", strconv.FormatUint(epoch, 10))
+}

@@ -1,0 +1,424 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"graphct/internal/stream"
+)
+
+func postJSON(t *testing.T, url string, v any) (int, []byte) {
+	t.Helper()
+	var body bytes.Buffer
+	if v != nil {
+		if err := json.NewEncoder(&body).Encode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &body)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes()
+}
+
+func mustIngest(t *testing.T, base, name string, batch []map[string]any) ingestResult {
+	t.Helper()
+	status, body := postJSON(t, base+"/graphs/"+name+"/ingest", batch)
+	if status != http.StatusOK {
+		t.Fatalf("ingest: HTTP %d: %s", status, body)
+	}
+	var res ingestResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestIngestLifecycle walks the happy path: create a live graph, ingest
+// JSON batches, watch epochs advance on snapshot, and see kernels observe
+// the streamed state.
+func TestIngestLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	s := New(reg, Config{SnapshotEvery: -1}) // snapshot after every effective batch
+	ts := newHTTPServer(t, s)
+
+	status, body := postJSON(t, ts.URL+"/graphs", map[string]any{
+		"name": "live", "format": "live", "vertices": 5,
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("create: HTTP %d: %s", status, body)
+	}
+	var info graphInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if !info.Live || info.Vertices != 5 || info.Edges != 0 {
+		t.Fatalf("info = %+v", info)
+	}
+
+	res := mustIngest(t, ts.URL, "live", []map[string]any{
+		{"u": 0, "v": 1}, {"u": 1, "v": 2}, {"u": 2, "v": 0}, {"u": 0, "v": 1}, {"u": 3, "v": 3},
+	})
+	if res.Inserted != 3 || res.Ignored != 2 || res.Edges != 3 || !res.Snapshotted {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Epoch <= info.Epoch {
+		t.Fatalf("epoch did not advance: %d -> %d", info.Epoch, res.Epoch)
+	}
+
+	// The published snapshot serves kernels, stamped with its epoch.
+	code, hdr, body := get(t, ts.URL+"/graphs/live/clustering")
+	if code != http.StatusOK {
+		t.Fatalf("clustering: HTTP %d: %s", code, body)
+	}
+	if got := hdr.Get("X-Graphct-Epoch"); got != fmt.Sprint(res.Epoch) {
+		t.Fatalf("epoch header %q, want %d", got, res.Epoch)
+	}
+	var clu struct {
+		Global float64 `json:"global_clustering"`
+	}
+	if err := json.Unmarshal(body, &clu); err != nil {
+		t.Fatal(err)
+	}
+	if clu.Global != 1 { // the streamed triangle is fully clustered
+		t.Fatalf("global clustering = %v", clu.Global)
+	}
+
+	// Deleting an edge breaks the triangle; the next epoch must show it.
+	res = mustIngest(t, ts.URL, "live", []map[string]any{{"u": 0, "v": 1, "del": true}})
+	if res.Deleted != 1 || res.Edges != 2 || !res.Snapshotted {
+		t.Fatalf("res = %+v", res)
+	}
+	code, _, body = get(t, ts.URL+"/graphs/live/clustering")
+	if code != http.StatusOK {
+		t.Fatalf("clustering: HTTP %d", code)
+	}
+	if err := json.Unmarshal(body, &clu); err != nil {
+		t.Fatal(err)
+	}
+	if clu.Global != 0 {
+		t.Fatalf("global clustering after delete = %v", clu.Global)
+	}
+
+	m := s.Metrics()
+	if m.IngestBatches.Load() != 2 || m.IngestUpdates.Load() != 6 ||
+		m.IngestMutations.Load() != 4 || m.Snapshots.Load() != 2 {
+		t.Fatalf("metrics: batches=%d updates=%d mutations=%d snapshots=%d",
+			m.IngestBatches.Load(), m.IngestUpdates.Load(), m.IngestMutations.Load(), m.Snapshots.Load())
+	}
+}
+
+// TestIngestBinaryFraming sends the compact framing end to end.
+func TestIngestBinaryFraming(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.AddLive("live", 100); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, Config{SnapshotEvery: 10})
+	ts := newHTTPServer(t, s)
+
+	ups := make([]stream.Update, 40)
+	for i := range ups {
+		ups[i] = stream.Update{U: int32(i % 7), V: int32((i + 3) % 11), Time: int64(i)}
+	}
+	var buf bytes.Buffer
+	if err := stream.EncodeUpdates(&buf, ups); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/graphs/live/ingest", stream.WireContentType, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	var res ingestResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 40 || res.Inserted == 0 || !res.Snapshotted {
+		t.Fatalf("res = %+v", res)
+	}
+
+	// Force-flush with nothing pending reports the current epoch quietly.
+	status, body := postJSON(t, ts.URL+"/graphs/live/snapshot", nil)
+	if status != http.StatusOK {
+		t.Fatalf("snapshot: HTTP %d: %s", status, body)
+	}
+	var snap ingestResult
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Snapshotted || snap.Epoch != res.Epoch {
+		t.Fatalf("idle snapshot = %+v (ingest epoch %d)", snap, res.Epoch)
+	}
+}
+
+// TestIngestValidation pins the endpoint's error contract.
+func TestIngestValidation(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.AddLive("live", 4); err != nil {
+		t.Fatal(err)
+	}
+	reg.Add("static", testGraph())
+	s := New(reg, Config{MaxBatch: 8})
+	ts := newHTTPServer(t, s)
+
+	cases := []struct {
+		name string
+		url  string
+		body string
+		ct   string
+		want int
+	}{
+		{"no graph", "/graphs/none/ingest", "[]", "application/json", http.StatusNotFound},
+		{"static graph", "/graphs/static/ingest", "[]", "application/json", http.StatusConflict},
+		{"bad json", "/graphs/live/ingest", "{not json", "application/json", http.StatusBadRequest},
+		{"bad frame", "/graphs/live/ingest", "XXXX", stream.WireContentType, http.StatusBadRequest},
+		{"oversized", "/graphs/live/ingest",
+			`[{"u":0,"v":1},{"u":0,"v":1},{"u":0,"v":1},{"u":0,"v":1},{"u":0,"v":1},{"u":0,"v":1},{"u":0,"v":1},{"u":0,"v":1},{"u":0,"v":1}]`,
+			"application/json", http.StatusRequestEntityTooLarge},
+		{"out of range", "/graphs/live/ingest", `[{"u":0,"v":99}]`, "application/json", http.StatusUnprocessableEntity},
+		{"snapshot no graph", "/graphs/none/snapshot", "", "application/json", http.StatusNotFound},
+		{"snapshot static", "/graphs/static/snapshot", "", "application/json", http.StatusConflict},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+tc.url, tc.ct, bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s: HTTP %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+
+	// A rejected batch (vertex out of range) must leave the stream intact.
+	res := mustIngest(t, ts.URL, "live", []map[string]any{{"u": 0, "v": 1}})
+	if res.Edges != 1 || res.Inserted != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+
+	// Creating a live graph without vertices is rejected.
+	status, _ := postJSON(t, ts.URL+"/graphs", map[string]any{"name": "bad", "format": "live"})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("liveness without vertices: HTTP %d", status)
+	}
+}
+
+// TestIngestBackpressure saturates the ingest pool and demands 429s,
+// counted in the ingest metrics, while the kernel pool stays unaffected.
+func TestIngestBackpressure(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.AddLive("live", 10); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, Config{IngestConcurrent: 1, IngestQueued: 1, SnapshotEvery: 1 << 30})
+	ts := newHTTPServer(t, s)
+
+	entered := make(chan struct{}, 16)
+	release := make(chan struct{})
+	s.beforeIngest = func(string) {
+		entered <- struct{}{}
+		<-release
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	codes := make([]int, clients)
+	wg.Add(clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _ = postJSON(t, ts.URL+"/graphs/live/ingest", []map[string]any{{"u": 0, "v": 1}})
+		}(i)
+	}
+	<-entered // one batch holds the only slot
+	// Wait until rejections surface, then release the stuck writer.
+	deadline := time.After(5 * time.Second)
+	for s.Metrics().IngestRejected.Load() < clients-2 {
+		select {
+		case <-deadline:
+			t.Fatal("rejections never arrived")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	ok, rejected := 0, 0
+	for _, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			t.Fatalf("unexpected status %d", c)
+		}
+	}
+	if ok < 1 || rejected < clients-2 || ok+rejected != clients {
+		t.Fatalf("ok=%d rejected=%d", ok, rejected)
+	}
+	if got := s.Metrics().IngestRejected.Load(); got != int64(rejected) {
+		t.Fatalf("metrics rejected %d != %d", got, rejected)
+	}
+}
+
+// TestIngestRaceStress is the concurrency acceptance harness: 4 writers
+// stream random batches while 8 readers hammer kernels on the same graph.
+// Every kernel response must be internally consistent — the edge count it
+// reports must be exactly the edge count the ingest path published for
+// the epoch stamped on the response — proving readers never observe a
+// half-applied batch or a torn snapshot.
+func TestIngestRaceStress(t *testing.T) {
+	reg := NewRegistry()
+	first, err := reg.AddLive("live", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, Config{
+		MaxConcurrent:    4,
+		MaxQueued:        1024,
+		IngestConcurrent: 4,
+		IngestQueued:     1024,
+		SnapshotEvery:    32,
+		CacheBytes:       -1, // force recomputation so readers exercise kernels
+	})
+	ts := newHTTPServer(t, s)
+
+	duration := 2 * time.Second
+	if testing.Short() {
+		duration = 300 * time.Millisecond
+	}
+	stop := time.Now().Add(duration)
+
+	// epochEdges records, for every published epoch, the live edge count
+	// captured inside the writer critical section. Readers cross-check
+	// their responses against it after the fact.
+	var mu sync.Mutex
+	epochEdges := map[uint64]int64{first.Epoch: 0}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 32)
+	report := func(format string, args ...any) {
+		select {
+		case errc <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for time.Now().Before(stop) {
+				batch := make([]map[string]any, 1+rng.Intn(24))
+				for i := range batch {
+					batch[i] = map[string]any{
+						"u": rng.Intn(200), "v": rng.Intn(200), "del": rng.Intn(4) == 0,
+					}
+				}
+				var body bytes.Buffer
+				_ = json.NewEncoder(&body).Encode(batch)
+				resp, err := http.Post(ts.URL+"/graphs/live/ingest", "application/json", &body)
+				if err != nil {
+					report("writer %d: %v", w, err)
+					return
+				}
+				var res ingestResult
+				err = json.NewDecoder(resp.Body).Decode(&res)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					report("writer %d: HTTP %d, %v", w, resp.StatusCode, err)
+					return
+				}
+				if res.Snapshotted {
+					mu.Lock()
+					epochEdges[res.Epoch] = res.Edges
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+
+	type observation struct {
+		epoch uint64
+		edges int64
+	}
+	observations := make([][]observation, 8)
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				code, hdr, body := get(t, ts.URL+"/graphs/live/stats")
+				if code != http.StatusOK {
+					report("reader %d: HTTP %d: %s", r, code, body)
+					return
+				}
+				var st struct {
+					Edges int64 `json:"edges"`
+				}
+				if err := json.Unmarshal(body, &st); err != nil {
+					report("reader %d: %v", r, err)
+					return
+				}
+				var epoch uint64
+				if _, err := fmt.Sscan(hdr.Get("X-Graphct-Epoch"), &epoch); err != nil {
+					report("reader %d: bad epoch header %q", r, hdr.Get("X-Graphct-Epoch"))
+					return
+				}
+				observations[r] = append(observations[r], observation{epoch, st.Edges})
+			}
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	// Post-join verification avoids racing the writers' bookkeeping: every
+	// epoch a reader saw must exist and carry exactly the edge count its
+	// publishing batch recorded.
+	checked := 0
+	for r, obs := range observations {
+		for _, o := range obs {
+			want, ok := epochEdges[o.epoch]
+			if !ok {
+				t.Fatalf("reader %d observed unpublished epoch %d", r, o.epoch)
+			}
+			if o.edges != want {
+				t.Fatalf("reader %d: epoch %d reported %d edges, published %d — torn batch",
+					r, o.epoch, o.edges, want)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("readers made no observations")
+	}
+	t.Logf("verified %d kernel responses across %d epochs", checked, len(epochEdges))
+}
+
+func newHTTPServer(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}

@@ -78,6 +78,12 @@ type Metrics struct {
 	Rejected  atomic.Int64 // 429s from the admission queue
 	Canceled  atomic.Int64 // kernels stopped by deadline/cancellation
 
+	IngestBatches   atomic.Int64 // update batches applied to live graphs
+	IngestUpdates   atomic.Int64 // updates accepted inside those batches
+	IngestMutations atomic.Int64 // effective edge insertions + deletions
+	IngestRejected  atomic.Int64 // 429s from the ingest queue
+	Snapshots       atomic.Int64 // epoch snapshots published
+
 	mu         sync.Mutex
 	kernelRuns map[string]*atomic.Int64
 	latency    map[string]*Histogram
@@ -137,26 +143,44 @@ type MetricsSnapshot struct {
 	Running    int                          `json:"running"`
 	CacheBytes int64                        `json:"cache_bytes"`
 	CacheItems int                          `json:"cache_items"`
+
+	IngestBatches    int64 `json:"ingest_batches"`
+	IngestUpdates    int64 `json:"ingest_updates"`
+	IngestMutations  int64 `json:"ingest_mutations"`
+	IngestRejected   int64 `json:"ingest_rejected"`
+	Snapshots        int64 `json:"snapshots"`
+	IngestQueueDepth int64 `json:"ingest_queue_depth"`
+	IngestRunning    int   `json:"ingest_running"`
+
 	KernelRuns map[string]int64             `json:"kernel_runs,omitempty"`
 	LatencyMs  map[string]HistogramSnapshot `json:"latency_ms,omitempty"`
 }
 
 // Snapshot captures the current counters plus the gauges owned by the
-// pool and cache.
-func (m *Metrics) Snapshot(pool *Pool, cache *Cache) MetricsSnapshot {
+// two admission pools and the cache.
+func (m *Metrics) Snapshot(pool, ingest *Pool, cache *Cache) MetricsSnapshot {
 	s := MetricsSnapshot{
-		Requests:   m.Requests.Load(),
-		CacheHits:  m.CacheHits.Load(),
-		CacheMiss:  m.CacheMiss.Load(),
-		Coalesced:  m.Coalesced.Load(),
-		Rejected:   m.Rejected.Load(),
-		Canceled:   m.Canceled.Load(),
-		KernelRuns: make(map[string]int64),
-		LatencyMs:  make(map[string]HistogramSnapshot),
+		Requests:        m.Requests.Load(),
+		CacheHits:       m.CacheHits.Load(),
+		CacheMiss:       m.CacheMiss.Load(),
+		Coalesced:       m.Coalesced.Load(),
+		Rejected:        m.Rejected.Load(),
+		Canceled:        m.Canceled.Load(),
+		IngestBatches:   m.IngestBatches.Load(),
+		IngestUpdates:   m.IngestUpdates.Load(),
+		IngestMutations: m.IngestMutations.Load(),
+		IngestRejected:  m.IngestRejected.Load(),
+		Snapshots:       m.Snapshots.Load(),
+		KernelRuns:      make(map[string]int64),
+		LatencyMs:       make(map[string]HistogramSnapshot),
 	}
 	if pool != nil {
 		s.QueueDepth = pool.QueueDepth()
 		s.Running = pool.Running()
+	}
+	if ingest != nil {
+		s.IngestQueueDepth = ingest.QueueDepth()
+		s.IngestRunning = ingest.Running()
 	}
 	if cache != nil {
 		s.CacheBytes = cache.Bytes()

@@ -17,11 +17,16 @@ var epochCounter atomic.Uint64
 
 // GraphEntry is one named graph in the registry. Entries are immutable
 // once published: a reload under the same name installs a new entry with
-// a fresh epoch.
+// a fresh epoch. For live (ingest-enabled) graphs, Graph is the epoch's
+// materialized snapshot and Live carries the mutable stream shared by
+// successive entries under the name; each snapshot materialization
+// publishes a new entry, so readers that resolved an older entry keep a
+// consistent view for the whole request.
 type GraphEntry struct {
 	Name  string
 	Epoch uint64
 	Graph *graph.Graph
+	Live  *Live // nil for static graphs
 }
 
 // Undirected returns the entry's memoized undirected view. The memo lives
@@ -48,9 +53,14 @@ func NewRegistry() *Registry {
 }
 
 // Add publishes g under name, replacing any previous graph and bumping
-// the epoch (which orphans stale cache entries).
+// the epoch (which orphans stale cache entries). Publishing a static
+// graph over a live name drops the live stream.
 func (r *Registry) Add(name string, g *graph.Graph) *GraphEntry {
-	e := &GraphEntry{Name: name, Epoch: epochCounter.Add(1), Graph: g}
+	return r.addEntry(name, g, nil)
+}
+
+func (r *Registry) addEntry(name string, g *graph.Graph, live *Live) *GraphEntry {
+	e := &GraphEntry{Name: name, Epoch: epochCounter.Add(1), Graph: g, Live: live}
 	r.mu.Lock()
 	r.m[name] = e
 	r.mu.Unlock()

@@ -52,6 +52,21 @@ type Config struct {
 	// Seed drives the sampling kernels, so identical requests are
 	// deterministic and cache/coalescing-friendly.
 	Seed int64
+	// IngestConcurrent bounds simultaneously applying ingest batches
+	// (default 2). Ingest has its own pool so writer bursts and kernel
+	// bursts cannot starve each other.
+	IngestConcurrent int
+	// IngestQueued bounds ingest batches waiting for a slot; excess gets
+	// 429 (default 64).
+	IngestQueued int
+	// SnapshotEvery is the snapshot-on-threshold policy: a live graph
+	// publishes a new epoch once this many effective mutations (edges
+	// actually added or removed) accumulate. 0 defaults to 4096; negative
+	// snapshots after every effective batch.
+	SnapshotEvery int64
+	// MaxBatch bounds the updates accepted in one ingest request
+	// (default 1 << 20); larger batches get 413.
+	MaxBatch int
 }
 
 // Server serves graph-analysis requests over a Registry.
@@ -60,6 +75,7 @@ type Server struct {
 	cache   *Cache
 	flight  *flightGroup
 	pool    *Pool
+	ingest  *Pool
 	metrics *Metrics
 	mux     *http.ServeMux
 	cfg     Config
@@ -67,6 +83,9 @@ type Server struct {
 	// beforeKernel, when non-nil, runs inside the pool slot right before
 	// a kernel executes — a test seam for holding executions in flight.
 	beforeKernel func(kernel string)
+	// beforeIngest is the same seam for the ingest path, running inside
+	// the ingest pool slot before the batch takes the writer lock.
+	beforeIngest func(name string)
 }
 
 // New returns a Server over reg.
@@ -77,11 +96,21 @@ func New(reg *Registry, cfg Config) *Server {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.IngestQueued <= 0 {
+		cfg.IngestQueued = 64
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 4096
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1 << 20
+	}
 	s := &Server{
 		reg:     reg,
 		cache:   NewCache(cfg.CacheBytes),
 		flight:  newFlightGroup(),
 		pool:    NewPool(cfg.MaxConcurrent, cfg.MaxQueued),
+		ingest:  NewPool(cfg.IngestConcurrent, cfg.IngestQueued),
 		metrics: NewMetrics(),
 		cfg:     cfg,
 	}
@@ -92,6 +121,8 @@ func New(reg *Registry, cfg Config) *Server {
 	mux.HandleFunc("POST /graphs", s.handleLoadGraph)
 	mux.HandleFunc("DELETE /graphs/{name}", s.handleDeleteGraph)
 	mux.HandleFunc("POST /graphs/{name}/extract", s.handleExtract)
+	mux.HandleFunc("POST /graphs/{name}/ingest", s.handleIngest)
+	mux.HandleFunc("POST /graphs/{name}/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /graphs/{name}/{kernel}", s.handleKernel)
 	s.mux = mux
 	return s
@@ -121,7 +152,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.pool, s.cache))
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.pool, s.ingest, s.cache))
 }
 
 type graphInfo struct {
@@ -130,6 +161,7 @@ type graphInfo struct {
 	Vertices int    `json:"vertices"`
 	Edges    int64  `json:"edges"`
 	Directed bool   `json:"directed"`
+	Live     bool   `json:"live,omitempty"`
 }
 
 func entryInfo(e *GraphEntry) graphInfo {
@@ -139,6 +171,7 @@ func entryInfo(e *GraphEntry) graphInfo {
 		Vertices: e.Graph.NumVertices(),
 		Edges:    e.Graph.NumEdges(),
 		Directed: e.Graph.Directed(),
+		Live:     e.Live != nil,
 	}
 }
 
@@ -153,15 +186,31 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 
 type loadRequest struct {
 	Name     string `json:"name"`
-	Format   string `json:"format"` // dimacs | edgelist | binary
+	Format   string `json:"format"` // dimacs | edgelist | binary | live
 	Path     string `json:"path"`
 	Directed bool   `json:"directed"`
+	// Vertices sizes a live graph (format "live"), which starts empty and
+	// grows through POST /graphs/{name}/ingest instead of a file.
+	Vertices int `json:"vertices,omitempty"`
 }
 
 func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 	var req loadRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Format == "live" {
+		if req.Name == "" {
+			writeError(w, http.StatusBadRequest, "name is required")
+			return
+		}
+		e, err := s.reg.AddLive(req.Name, req.Vertices)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "create live %q: %v", req.Name, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, entryInfo(e))
 		return
 	}
 	if req.Name == "" || req.Format == "" || req.Path == "" {
@@ -409,6 +458,10 @@ func (s *Server) handleKernel(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.Requests.Add(1)
 
+	// The whole request — cache key, coalescing group, kernel input — is
+	// pinned to the entry resolved above, so a snapshot published mid-flight
+	// cannot tear the response; the header tells clients which epoch served.
+	epochHeader(w, e.Epoch)
 	key := fmt.Sprintf("%s@%d/%s?%s", e.Name, e.Epoch, kernel, params)
 	if body, ok := s.cache.Get(key); ok {
 		s.metrics.CacheHits.Add(1)

@@ -9,20 +9,39 @@
 // adjacency structure, incrementally tracks per-vertex triangle counts
 // (so clustering coefficients are always available in O(1)), and can
 // materialize a CSR snapshot for the static kernels at any point.
+// Snapshots are incremental: each materialization copies the adjacency of
+// untouched vertices from the previous snapshot and rebuilds only the
+// vertices updates dirtied, so steady-state snapshot cost tracks the
+// update rate, not the graph size times log degree.
+//
+// Batches are the concurrency unit, as in the streaming paper: ApplyBatch
+// parallelizes one batch internally over vertex shards (see batch.go),
+// but a Stream accepts only one mutation call at a time — callers
+// serialize writers (graphctd holds a per-graph writer lock) while any
+// number of readers traverse previously materialized snapshots.
 package stream
 
 import (
 	"fmt"
-	"sort"
 
 	"graphct/internal/graph"
 )
 
-// Update is one streamed interaction.
+// Update is one streamed interaction. The zero Del inserts the edge; Del
+// true deletes it.
 type Update struct {
 	U, V int32
 	Time int64 // arbitrary monotone timestamp (e.g. tweet id)
+	Del  bool
 }
+
+// triScale is the fixed-point scale of the internal triangle counters:
+// tri6[v] stores 6x the triangles incident on v. Every triangle
+// contributes exactly triScale to each of its three corners no matter how
+// it is discovered, which lets the batched update (batch.go) credit a
+// triangle found from k of its edges with triScale/k per discovery — an
+// exact integer for k in {1,2,3} — instead of tracking fractions.
+const triScale = 6
 
 // Stream is a dynamic undirected graph with incrementally maintained
 // triangle counts. It is not safe for concurrent mutation; batches are the
@@ -30,18 +49,67 @@ type Update struct {
 type Stream struct {
 	n        int
 	adj      []map[int32]struct{}
-	tri      []int64 // triangles incident on each vertex
+	tri6     []int64 // triScale x triangles incident on each vertex
 	edges    int64
 	lastTime int64
+
+	// Snapshot reuse state: prev is the last materialized CSR; dirty
+	// marks vertices whose adjacency changed since, dirtyList holds them
+	// without an O(n) scan, and sinceSnap counts effective mutations for
+	// the snapshot-on-threshold policy.
+	prev      *graph.Graph
+	dirty     []bool
+	dirtyList []int32
+	sinceSnap int64
 }
 
 // New creates a stream over n vertices and no edges.
 func New(n int) *Stream {
-	s := &Stream{n: n, adj: make([]map[int32]struct{}, n), tri: make([]int64, n)}
+	s := &Stream{
+		n:     n,
+		adj:   make([]map[int32]struct{}, n),
+		tri6:  make([]int64, n),
+		dirty: make([]bool, n),
+	}
 	for i := range s.adj {
 		s.adj[i] = make(map[int32]struct{})
 	}
 	return s
+}
+
+// FromGraph builds a stream preloaded with the undirected simple
+// projection of g (self loops dropped, directions and duplicates
+// collapsed), so an existing static graph can start accepting live
+// updates. Triangle counts are established by one static count.
+func FromGraph(g *graph.Graph) *Stream {
+	if g.Directed() {
+		g = g.Undirected()
+	}
+	s := New(g.NumVertices())
+	for v := 0; v < s.n; v++ {
+		for _, w := range g.Neighbors(int32(v)) {
+			if w == int32(v) || w < int32(v) {
+				continue
+			}
+			s.adj[v][w] = struct{}{}
+			s.adj[w][int32(v)] = struct{}{}
+			s.edges++
+		}
+	}
+	for v := int32(0); v < int32(s.n); v++ {
+		s.tri6[v] = triScale * s.countTriangles(v)
+	}
+	return s
+}
+
+// countTriangles counts triangles incident on v from the current
+// adjacency sets (used only to seed FromGraph).
+func (s *Stream) countTriangles(v int32) int64 {
+	var twice int64
+	for w := range s.adj[v] {
+		twice += int64(len(s.commonNeighbors(v, w)))
+	}
+	return twice / 2
 }
 
 // NumVertices returns the vertex count.
@@ -78,13 +146,16 @@ func (s *Stream) Insert(up Update) (bool, error) {
 	}
 	common := s.commonNeighbors(u, v)
 	for _, w := range common {
-		s.tri[w]++
+		s.tri6[w] += triScale
 	}
-	s.tri[u] += int64(len(common))
-	s.tri[v] += int64(len(common))
+	s.tri6[u] += triScale * int64(len(common))
+	s.tri6[v] += triScale * int64(len(common))
 	s.adj[u][v] = struct{}{}
 	s.adj[v][u] = struct{}{}
 	s.edges++
+	s.sinceSnap++
+	s.markDirty(u)
+	s.markDirty(v)
 	s.touch(up.Time)
 	return true, nil
 }
@@ -103,18 +174,29 @@ func (s *Stream) Delete(up Update) (bool, error) {
 	delete(s.adj[u], v)
 	delete(s.adj[v], u)
 	s.edges--
+	s.sinceSnap++
+	s.markDirty(u)
+	s.markDirty(v)
 	common := s.commonNeighbors(u, v)
 	for _, w := range common {
-		s.tri[w]--
+		s.tri6[w] -= triScale
 	}
-	s.tri[u] -= int64(len(common))
-	s.tri[v] -= int64(len(common))
+	s.tri6[u] -= triScale * int64(len(common))
+	s.tri6[v] -= triScale * int64(len(common))
 	s.touch(up.Time)
 	return true, nil
 }
 
-// InsertBatch applies a batch of insertions, returning how many were new
-// edges. Batched ingest is the streaming paper's unit of work.
+// Apply routes one update by its Del flag.
+func (s *Stream) Apply(up Update) (bool, error) {
+	if up.Del {
+		return s.Delete(up)
+	}
+	return s.Insert(up)
+}
+
+// InsertBatch applies a batch of insertions one at a time, returning how
+// many were new edges. ApplyBatch is the parallel path.
 func (s *Stream) InsertBatch(batch []Update) (int, error) {
 	added := 0
 	for _, up := range batch {
@@ -142,6 +224,41 @@ func (s *Stream) touch(t int64) {
 	}
 }
 
+// markDirty records that v's adjacency diverged from the last snapshot.
+func (s *Stream) markDirty(v int32) {
+	if !s.dirty[v] {
+		s.dirty[v] = true
+		s.dirtyList = append(s.dirtyList, v)
+	}
+}
+
+// DirtyVertices returns how many vertices changed since the last
+// materialized snapshot (all of them before the first).
+func (s *Stream) DirtyVertices() int {
+	if s.prev == nil {
+		return s.n
+	}
+	return len(s.dirtyList)
+}
+
+// PendingUpdates returns the effective mutations (edges added or removed)
+// since the last materialized snapshot.
+func (s *Stream) PendingUpdates() int64 { return s.sinceSnap }
+
+// SnapshotDue implements the snapshot-on-threshold policy: it reports
+// whether at least threshold effective mutations accumulated since the
+// last materialization (or none has happened yet). threshold <= 0 asks
+// for a snapshot after every effective batch.
+func (s *Stream) SnapshotDue(threshold int64) bool {
+	if s.prev == nil {
+		return true
+	}
+	if threshold <= 0 {
+		return s.sinceSnap > 0
+	}
+	return s.sinceSnap >= threshold
+}
+
 // commonNeighbors returns vertices adjacent to both u and v, iterating
 // the smaller adjacency set.
 func (s *Stream) commonNeighbors(u, v int32) []int32 {
@@ -161,7 +278,9 @@ func (s *Stream) commonNeighbors(u, v int32) []int32 {
 // Triangles returns the current per-vertex triangle counts (aliased copy).
 func (s *Stream) Triangles() []int64 {
 	out := make([]int64, s.n)
-	copy(out, s.tri)
+	for v, t := range s.tri6 {
+		out[v] = t / triScale
+	}
 	return out
 }
 
@@ -172,14 +291,14 @@ func (s *Stream) Coefficient(v int32) float64 {
 	if d < 2 {
 		return 0
 	}
-	return 2 * float64(s.tri[v]) / float64(d*(d-1))
+	return 2 * float64(s.tri6[v]/triScale) / float64(d*(d-1))
 }
 
 // GlobalCoefficient returns the current transitivity.
 func (s *Stream) GlobalCoefficient() float64 {
 	var closed, wedges int64
 	for v := 0; v < s.n; v++ {
-		closed += s.tri[v]
+		closed += s.tri6[v] / triScale
 		d := int64(len(s.adj[v]))
 		wedges += d * (d - 1) / 2
 	}
@@ -190,24 +309,38 @@ func (s *Stream) GlobalCoefficient() float64 {
 }
 
 // Snapshot materializes the current graph as a static CSR graph, bridging
-// the streaming substrate to every static kernel.
+// the streaming substrate to every static kernel. The returned graph is
+// immutable and safe for concurrent reads while the stream keeps mutating.
+//
+// After the first call, materialization is incremental: vertices untouched
+// since the previous snapshot copy their adjacency run from it, and only
+// dirty vertices are re-collected and re-sorted from the dynamic sets.
 func (s *Stream) Snapshot() *graph.Graph {
-	var edges []graph.Edge
-	for u := 0; u < s.n; u++ {
-		nbr := make([]int32, 0, len(s.adj[u]))
-		for w := range s.adj[u] {
-			nbr = append(nbr, w)
-		}
-		sort.Slice(nbr, func(i, j int) bool { return nbr[i] < nbr[j] })
-		for _, w := range nbr {
-			if w > int32(u) {
-				edges = append(edges, graph.Edge{U: int32(u), V: w})
-			}
-		}
+	deg := make([]int64, s.n)
+	for v := range s.adj {
+		deg[v] = int64(len(s.adj[v]))
 	}
-	g, err := graph.FromEdges(s.n, edges, graph.Options{})
+	dirty := s.dirty
+	if s.prev == nil {
+		dirty = nil // first materialization builds every vertex
+	}
+	g, err := graph.IncrementalCSR(s.prev, s.n, deg, dirty, func(v int32, dst []int32) {
+		i := 0
+		for w := range s.adj[v] {
+			dst[i] = w
+			i++
+		}
+	})
 	if err != nil {
-		panic("stream: snapshot out of range: " + err.Error())
+		// The stream maintains the builder's invariants (degrees match the
+		// sets, clean vertices untouched); a failure is a bookkeeping bug.
+		panic("stream: snapshot: " + err.Error())
 	}
+	for _, v := range s.dirtyList {
+		s.dirty[v] = false
+	}
+	s.dirtyList = s.dirtyList[:0]
+	s.sinceSnap = 0
+	s.prev = g
 	return g
 }

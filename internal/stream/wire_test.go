@@ -1,0 +1,104 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ups := make([]Update, 500)
+	tm := int64(0)
+	for i := range ups {
+		tm += rng.Int63n(50) // non-monotone gaps are fine; deltas may be negative too
+		if rng.Intn(10) == 0 {
+			tm -= 17
+		}
+		ups[i] = Update{
+			U:    int32(rng.Intn(1 << 20)),
+			V:    int32(rng.Intn(1 << 20)),
+			Time: tm,
+			Del:  rng.Intn(4) == 0,
+		}
+	}
+	var buf bytes.Buffer
+	if err := EncodeUpdates(&buf, ups); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeUpdates(bytes.NewReader(buf.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ups) {
+		t.Fatalf("decoded %d of %d", len(got), len(ups))
+	}
+	for i := range ups {
+		if got[i] != ups[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], ups[i])
+		}
+	}
+}
+
+func TestWireEmptyBatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeUpdates(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeUpdates(&buf, 10)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %v %v", got, err)
+	}
+}
+
+func TestWireRejectsNegativeVertex(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeUpdates(&buf, []Update{{U: -1, V: 2}}); err == nil {
+		t.Fatal("negative vertex encoded")
+	}
+}
+
+func TestWireMaxUpdates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeUpdates(&buf, make([]Update, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeUpdates(bytes.NewReader(buf.Bytes()), 99); err == nil {
+		t.Fatal("oversized frame accepted")
+	} else if errors.Is(err, ErrWireFormat) {
+		t.Fatal("limit violation must not classify as malformed frame")
+	}
+	if _, err := DecodeUpdates(bytes.NewReader(buf.Bytes()), 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWireHostileInputs: malformed frames return ErrWireFormat, never
+// panic and never allocate per the declared (untrusted) count.
+func TestWireHostileInputs(t *testing.T) {
+	var valid bytes.Buffer
+	_ = EncodeUpdates(&valid, []Update{{U: 1, V: 2, Time: 5}, {U: 2, V: 3, Time: 6, Del: true}})
+	vb := valid.Bytes()
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"short magic":    []byte("GCT"),
+		"bad magic":      []byte("XXXXX\x00"),
+		"old version":    {'G', 'C', 'T', 'U', 0, 0},
+		"truncated body": vb[:len(vb)-3],
+		"trailing junk":  append(append([]byte{}, vb...), 0xFF),
+		"unknown flags":  {'G', 'C', 'T', 'U', 1, 1, 0x80, 1, 2, 0},
+		"huge count":     {'G', 'C', 'T', 'U', 1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F},
+		"oversized id":   {'G', 'C', 'T', 'U', 1, 1, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F, 2, 0},
+	}
+	for name, data := range cases {
+		ups, err := DecodeUpdates(bytes.NewReader(data), 0)
+		if err == nil {
+			t.Fatalf("%s: accepted %v", name, ups)
+		}
+		if !errors.Is(err, ErrWireFormat) {
+			t.Fatalf("%s: err %v not ErrWireFormat", name, err)
+		}
+	}
+}
