@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden files from the current output:
+//
+//	go test ./cmd/graphct -run TestGoldenScripts -update
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestGoldenScripts runs every script under testdata/scripts through the
+// real CLI entry point with a pinned seed and compares the full stdout
+// byte-for-byte against its golden file. These are the end-to-end
+// regression net for the analyst workflow: read, census, extraction,
+// sampled centrality, kernels — any behavioral drift in output shows up
+// as a diff here.
+func TestGoldenScripts(t *testing.T) {
+	scripts, err := filepath.Glob(filepath.Join("testdata", "scripts", "*.gct"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scripts) == 0 {
+		t.Fatal("no scripts under testdata/scripts")
+	}
+	for _, script := range scripts {
+		name := strings.TrimSuffix(filepath.Base(script), ".gct")
+		t.Run(name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if code := run([]string{"-seed", "7", script}, &out, &errOut); code != exitOK {
+				t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+			}
+			golden := filepath.Join("testdata", "golden", name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s", golden)
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to generate)", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Fatalf("output drifted from %s\n--- got ---\n%s--- want ---\n%s(re-bless with -update if intentional)",
+					golden, out.String(), want)
+			}
+		})
+	}
+}

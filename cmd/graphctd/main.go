@@ -12,7 +12,11 @@
 // Endpoints:
 //
 //	GET    /healthz
+//	GET    /readyz
 //	GET    /metrics
+//	GET    /debug/failpoints           (requires -debug)
+//	POST   /debug/failpoints           {"arm":"spec"} | {"disarm":"name"} |
+//	                                   {"disarm_all":true} | {"seed":N}
 //	GET    /graphs
 //	POST   /graphs                     {"name","format","path","directed"}
 //	                                   or {"name","format":"live","vertices":N}
@@ -36,9 +40,20 @@
 // -graph NAME=live:VERTICES) accept batched edge updates on their ingest
 // endpoint; every -snapshot-every effective mutations the daemon publishes
 // a new immutable epoch that subsequent kernel requests resolve, while
-// requests already in flight keep their old epoch's view. On
-// SIGINT/SIGTERM the daemon stops accepting connections and drains
-// in-flight kernels before exiting.
+// requests already in flight keep their old epoch's view.
+//
+// Failure handling: kernel panics are isolated per request (500 +
+// kernel_panics metric, the daemon keeps serving); a (graph, kernel)
+// pair that fails -breaker-threshold times in a row trips a circuit
+// breaker (503 until a half-open probe succeeds); kernel requests may
+// opt into degraded serving with ?stale=allow, which answers a 429/503
+// rejection from the last computed result with X-Graphct-Stale naming
+// its epoch; ingest requests may carry ?batch_id=ID, and retried IDs are
+// answered from an idempotency window instead of double-applying.
+// GRAPHCT_FAILPOINTS (and, with -debug, POST /debug/failpoints) arms
+// fault injection; see internal/failpoint. On SIGINT/SIGTERM the daemon
+// stops accepting connections and drains in-flight kernels before
+// exiting.
 package main
 
 import (
@@ -55,6 +70,7 @@ import (
 	"syscall"
 	"time"
 
+	"graphct/internal/failpoint"
 	"graphct/internal/server"
 )
 
@@ -76,40 +92,26 @@ func main() {
 	ingestConcurrent := flag.Int("ingest-concurrent", 2, "ingest batches applying at once")
 	ingestQueued := flag.Int("ingest-queue", 64, "ingest batches waiting for a slot before 429")
 	maxBatch := flag.Int("max-batch", 1<<20, "updates accepted per ingest request")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive kernel failures tripping a (graph,kernel) circuit breaker (<0 disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", time.Second, "how long a tripped breaker stays open before half-opening")
+	debug := flag.Bool("debug", false, "expose the POST /debug/failpoints fault-injection endpoint")
 	var graphs graphFlags
 	flag.Var(&graphs, "graph", "preload NAME=FORMAT:PATH (formats: dimacs, edgelist, binary) or NAME=live:VERTICES (repeatable)")
 	flag.Parse()
 
-	reg := server.NewRegistry()
-	for _, spec := range graphs {
-		name, rest, ok := strings.Cut(spec, "=")
-		if !ok {
-			log.Fatalf("graphctd: bad -graph %q (want NAME=FORMAT:PATH)", spec)
+	// GRAPHCT_FAILPOINTS arms fault injection before any request is
+	// served; see internal/failpoint for the spec grammar. The armed
+	// catalogue is logged so a chaos run is auditable.
+	if spec := os.Getenv("GRAPHCT_FAILPOINTS"); spec != "" {
+		if err := failpoint.Default.ArmAll(spec); err != nil {
+			log.Fatalf("graphctd: GRAPHCT_FAILPOINTS: %v", err)
 		}
-		format, path, ok := strings.Cut(rest, ":")
-		if !ok {
-			log.Fatalf("graphctd: bad -graph %q (want NAME=FORMAT:PATH)", spec)
+		for _, st := range failpoint.Default.List() {
+			log.Printf("failpoint armed: %s=%s", st.Name, st.Spec)
 		}
-		start := time.Now()
-		if format == "live" {
-			n, err := strconv.Atoi(path)
-			if err != nil {
-				log.Fatalf("graphctd: bad -graph %q (want NAME=live:VERTICES)", spec)
-			}
-			if _, err := reg.AddLive(name, n); err != nil {
-				log.Fatalf("graphctd: %v", err)
-			}
-			log.Printf("created live graph %q over %d vertices", name, n)
-			continue
-		}
-		e, err := reg.Load(name, format, path, *directed)
-		if err != nil {
-			log.Fatalf("graphctd: %v", err)
-		}
-		log.Printf("loaded %q: %d vertices, %d edges in %v",
-			name, e.Graph.NumVertices(), e.Graph.NumEdges(), time.Since(start).Round(time.Millisecond))
 	}
 
+	reg := server.NewRegistry()
 	srv := server.New(reg, server.Config{
 		MaxConcurrent:    *maxConcurrent,
 		MaxQueued:        *maxQueued,
@@ -120,14 +122,54 @@ func main() {
 		IngestQueued:     *ingestQueued,
 		SnapshotEvery:    *snapshotEvery,
 		MaxBatch:         *maxBatch,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		Debug:            *debug,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
+
+	// Bind immediately and preload in the background: /healthz answers
+	// from the first instant while /readyz stays 503 until every -graph
+	// has parsed, so load balancers hold traffic during multi-GiB loads.
+	srv.SetReady(false)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("graphctd listening on %s (%d graphs)", *addr, len(reg.List()))
+	go func() {
+		for _, spec := range graphs {
+			name, rest, ok := strings.Cut(spec, "=")
+			if !ok {
+				log.Fatalf("graphctd: bad -graph %q (want NAME=FORMAT:PATH)", spec)
+			}
+			format, path, ok := strings.Cut(rest, ":")
+			if !ok {
+				log.Fatalf("graphctd: bad -graph %q (want NAME=FORMAT:PATH)", spec)
+			}
+			start := time.Now()
+			if format == "live" {
+				n, err := strconv.Atoi(path)
+				if err != nil {
+					log.Fatalf("graphctd: bad -graph %q (want NAME=live:VERTICES)", spec)
+				}
+				if _, err := reg.AddLive(name, n); err != nil {
+					log.Fatalf("graphctd: %v", err)
+				}
+				log.Printf("created live graph %q over %d vertices", name, n)
+				continue
+			}
+			e, err := reg.Load(name, format, path, *directed)
+			if err != nil {
+				log.Fatalf("graphctd: %v", err)
+			}
+			log.Printf("loaded %q: %d vertices, %d edges in %v",
+				name, e.Graph.NumVertices(), e.Graph.NumEdges(), time.Since(start).Round(time.Millisecond))
+		}
+		srv.SetReady(true)
+		log.Printf("graphctd ready (%d graphs)", len(reg.List()))
+	}()
+	log.Printf("graphctd listening on %s (%d graphs preloading)", *addr, len(graphs))
 
 	select {
 	case err := <-errc:

@@ -23,7 +23,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	neturl "net/url"
 	"os"
 	"time"
 
@@ -133,6 +135,14 @@ func replay(base, name string, ts []tweets.Tweet, batchSize int, binary bool) er
 		return fmt.Errorf("create live graph %q: %w", name, err)
 	}
 
+	// Batch IDs make retries idempotent: the run ID is unique per replay
+	// (so a re-run is not deduped against a previous one) and the batch
+	// offset is stable within it, so a batch retried after a 5xx — which
+	// the server may or may not have applied before failing — is answered
+	// from the server's idempotency window instead of double-applying.
+	runID := fmt.Sprintf("tweetgen-%d-%d", os.Getpid(), time.Now().UnixNano())
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+
 	start := time.Now()
 	sent, batches, snapshots := 0, 0, 0
 	for lo := 0; lo < len(ups); lo += batchSize {
@@ -140,7 +150,7 @@ func replay(base, name string, ts []tweets.Tweet, batchSize int, binary bool) er
 		if hi > len(ups) {
 			hi = len(ups)
 		}
-		res, err := postBatch(base, name, ups[lo:hi], binary)
+		res, err := postBatch(base, name, fmt.Sprintf("%s/%d", runID, lo), ups[lo:hi], binary, rng)
 		if err != nil {
 			return err
 		}
@@ -151,12 +161,20 @@ func replay(base, name string, ts []tweets.Tweet, batchSize int, binary bool) er
 		}
 	}
 	// Flush so every streamed interaction is visible to the next kernel.
-	resp, err = http.Post(base+"/graphs/"+name+"/snapshot", "application/json", nil)
-	if err != nil {
+	// The forced snapshot retries like a batch: under injected faults the
+	// daemon may defer publication with a 503.
+	if err := withRetry(rng, func() (int, error) {
+		resp, err := http.Post(base+"/graphs/"+name+"/snapshot", "application/json", nil)
+		if err != nil {
+			return 0, err
+		}
+		code := resp.StatusCode
+		if err := drain(resp, http.StatusOK); err != nil && !retryableStatus(code) {
+			return code, fmt.Errorf("snapshot %q: %w", name, err)
+		}
+		return code, nil
+	}); err != nil {
 		return err
-	}
-	if err := drain(resp, http.StatusOK); err != nil {
-		return fmt.Errorf("snapshot %q: %w", name, err)
 	}
 	elapsed := time.Since(start)
 	fmt.Fprintf(os.Stderr, "tweetgen: streamed %d updates in %d batches (%d snapshots) in %v (%.0f updates/s)\n",
@@ -172,9 +190,46 @@ type ingestReply struct {
 	Snapshotted bool   `json:"snapshotted"`
 }
 
-// postBatch sends one batch, retrying with exponential backoff while the
-// ingest queue signals 429.
-func postBatch(base, name string, batch []stream.Update, binary bool) (ingestReply, error) {
+// retryableStatus reports whether a response warrants a retry: 429 is
+// backpressure, 5xx is a transient server failure (the batch ID makes
+// the retry idempotent either way).
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// maxAttempts bounds retries of server failures; backpressure (429)
+// retries indefinitely — the server is healthy, just busy.
+const maxAttempts = 10
+
+// withRetry runs send until it returns a non-retryable status, applying
+// jittered exponential backoff (10ms doubling to a 1s cap, ±50% jitter
+// so synchronized clients do not re-converge on the same instant).
+func withRetry(rng *rand.Rand, send func() (int, error)) error {
+	backoff := 10 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		code, err := send()
+		if err != nil {
+			return err
+		}
+		if !retryableStatus(code) {
+			return nil
+		}
+		if code >= 500 && attempt >= maxAttempts {
+			return fmt.Errorf("giving up after %d attempts (last status %d)", attempt, code)
+		}
+		jitter := 0.5 + rng.Float64() // uniform in [0.5, 1.5)
+		time.Sleep(time.Duration(float64(backoff) * jitter))
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// postBatch sends one batch under a client-assigned batch ID, retrying
+// 429 (backpressure) and 5xx (server failure) with jittered exponential
+// backoff. The ID lets the server dedupe a retry of a batch it actually
+// applied before the failure, so retries never double-apply.
+func postBatch(base, name, batchID string, batch []stream.Update, binary bool, rng *rand.Rand) (ingestReply, error) {
 	var buf bytes.Buffer
 	contentType := "application/json"
 	if binary {
@@ -197,29 +252,26 @@ func postBatch(base, name string, batch []stream.Update, binary bool) (ingestRep
 			return ingestReply{}, err
 		}
 	}
-	backoff := 10 * time.Millisecond
-	for {
-		resp, err := http.Post(base+"/graphs/"+name+"/ingest", contentType, bytes.NewReader(buf.Bytes()))
+	url := base + "/graphs/" + name + "/ingest?batch_id=" + neturl.QueryEscape(batchID)
+	var rep ingestReply
+	err := withRetry(rng, func() (int, error) {
+		resp, err := http.Post(url, contentType, bytes.NewReader(buf.Bytes()))
 		if err != nil {
-			return ingestReply{}, err
-		}
-		if resp.StatusCode == http.StatusTooManyRequests {
-			drainBody(resp)
-			time.Sleep(backoff)
-			if backoff < time.Second {
-				backoff *= 2
-			}
-			continue
+			return 0, err
 		}
 		if resp.StatusCode != http.StatusOK {
+			code := resp.StatusCode
 			err := drain(resp, http.StatusOK)
-			return ingestReply{}, fmt.Errorf("ingest: %w", err)
+			if retryableStatus(code) {
+				return code, nil
+			}
+			return code, fmt.Errorf("ingest: %w", err)
 		}
-		var rep ingestReply
 		err = json.NewDecoder(resp.Body).Decode(&rep)
 		drainBody(resp)
-		return rep, err
-	}
+		return http.StatusOK, err
+	})
+	return rep, err
 }
 
 func drain(resp *http.Response, want int) error {

@@ -1,0 +1,72 @@
+package bc
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"graphct/internal/gen"
+)
+
+// cancelBudget is how long a cancelled kernel may take to return. The
+// kernels check their context between parallel rounds, so this bounds the
+// cost of one in-flight round — far below an uncancelled run, which on
+// these workloads takes seconds.
+const cancelBudget = 500 * time.Millisecond
+
+// checkGoroutines asserts the kernel's workers wound down after a
+// cancelled run: the goroutine count returns to the pre-run baseline
+// (with scheduler slack) instead of leaking abandoned workers.
+func checkGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestCentralityCtxCancellation(t *testing.T) {
+	g := gen.PreferentialAttachment(30000, 8, 1)
+	opt := Options{Samples: 256, Seed: 1}
+
+	// Warm up so lazily started infrastructure is in the baseline.
+	_, _ = CentralityCtx(context.Background(), g, Options{Samples: 1, Seed: 1})
+	baseline := runtime.NumGoroutine()
+
+	// Already-cancelled: no work may start.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := CentralityCtx(ctx, g, opt)
+	if !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("pre-cancelled: res %v err %v, want nil result and context.Canceled", res, err)
+	}
+	if d := time.Since(start); d > cancelBudget {
+		t.Fatalf("pre-cancelled call took %v, budget %v", d, cancelBudget)
+	}
+
+	// Mid-run: the uncancelled workload runs for seconds, so a 10ms
+	// cancel lands while sampling is underway; the kernel must abandon
+	// its remaining sources and return within the budget.
+	ctx, cancel = context.WithCancel(context.Background())
+	timer := time.AfterFunc(10*time.Millisecond, cancel)
+	defer timer.Stop()
+	start = time.Now()
+	res, err = CentralityCtx(ctx, g, opt)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("mid-run cancel: res %v err %v, want nil result and context.Canceled", res, err)
+	}
+	if elapsed > 10*time.Millisecond+cancelBudget {
+		t.Fatalf("mid-run cancel returned after %v, budget %v", elapsed, cancelBudget)
+	}
+	checkGoroutines(t, baseline)
+}

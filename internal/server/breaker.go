@@ -1,0 +1,152 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrBreakerOpen rejects a kernel request whose (graph, kernel) circuit
+// breaker is open — the failure-isolation signal, mapped to HTTP 503.
+var ErrBreakerOpen = errors.New("server: circuit breaker open")
+
+// breakerOutcome classifies one kernel execution for the breaker.
+type breakerOutcome int
+
+const (
+	// breakerSkip releases the admission without recording: coalesced
+	// followers (the leader already records), queue-full rejections and
+	// client cancellations say nothing about the kernel's health.
+	breakerSkip breakerOutcome = iota
+	breakerSuccess
+	breakerFailure
+)
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen // one probe in flight
+)
+
+// breaker is the per-(graph, kernel) failure state.
+type breaker struct {
+	state    int
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+}
+
+// BreakerSet holds one circuit breaker per key. A breaker trips open
+// after threshold consecutive kernel failures (panics and internal
+// errors; cancellations and backpressure do not count), rejects requests
+// with ErrBreakerOpen while open, and after cooldown admits a single
+// half-open probe whose outcome either closes the breaker or re-opens it
+// for another cooldown. Keys deliberately exclude the graph epoch: a
+// kernel that crashes on a graph keeps its breaker across snapshots until
+// a probe actually succeeds.
+type BreakerSet struct {
+	mu        sync.Mutex
+	m         map[string]*breaker
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // test seam
+	trips     atomic.Int64
+}
+
+// NewBreakerSet returns a set tripping after threshold consecutive
+// failures and half-opening after cooldown. threshold 0 defaults to 5 and
+// cooldown 0 to 1s; a negative threshold disables breaking entirely.
+func NewBreakerSet(threshold int, cooldown time.Duration) *BreakerSet {
+	if threshold == 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &BreakerSet{
+		m:         make(map[string]*breaker),
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+	}
+}
+
+// Trips returns how many times any breaker in the set tripped open.
+func (b *BreakerSet) Trips() int64 { return b.trips.Load() }
+
+// Allow admits or rejects an execution for key. On admission it returns
+// the record function the executor must call exactly once with the
+// outcome; on rejection it returns ErrBreakerOpen.
+func (b *BreakerSet) Allow(key string) (func(breakerOutcome), error) {
+	if b.threshold < 0 {
+		return func(breakerOutcome) {}, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br, ok := b.m[key]
+	if !ok {
+		br = &breaker{}
+		b.m[key] = br
+	}
+	probe := false
+	switch br.state {
+	case breakerOpen:
+		if b.now().Sub(br.openedAt) < b.cooldown {
+			return nil, ErrBreakerOpen
+		}
+		// Cooldown elapsed: this caller becomes the half-open probe.
+		br.state = breakerHalfOpen
+		probe = true
+	case breakerHalfOpen:
+		return nil, ErrBreakerOpen
+	}
+	return func(oc breakerOutcome) { b.record(key, probe, oc) }, nil
+}
+
+func (b *BreakerSet) record(key string, probe bool, oc breakerOutcome) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br, ok := b.m[key]
+	if !ok {
+		return
+	}
+	switch oc {
+	case breakerSkip:
+		if probe && br.state == breakerHalfOpen {
+			// The probe slot was consumed without a verdict; return to
+			// open with the original trip time so the next Allow can
+			// probe again immediately.
+			br.state = breakerOpen
+		}
+	case breakerSuccess:
+		br.state = breakerClosed
+		br.fails = 0
+	case breakerFailure:
+		br.fails++
+		if probe || br.fails >= b.threshold {
+			if br.state != breakerOpen {
+				b.trips.Add(1)
+			}
+			br.state = breakerOpen
+			br.openedAt = b.now()
+			br.fails = 0
+		}
+	}
+}
+
+// State reports key's current state name for listings and tests.
+func (b *BreakerSet) State(key string) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br, ok := b.m[key]
+	if !ok {
+		return "closed"
+	}
+	switch br.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}

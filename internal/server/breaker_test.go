@@ -1,0 +1,118 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a BreakerSet deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreakers(threshold int, cooldown time.Duration) (*BreakerSet, *fakeClock) {
+	b := NewBreakerSet(threshold, cooldown)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func mustAllow(t *testing.T, b *BreakerSet, key string) func(breakerOutcome) {
+	t.Helper()
+	rec, err := b.Allow(key)
+	if err != nil {
+		t.Fatalf("Allow(%s): %v", key, err)
+	}
+	return rec
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreakers(3, time.Second)
+	for i := 0; i < 2; i++ {
+		mustAllow(t, b, "g/k")(breakerFailure)
+	}
+	// A success resets the consecutive count.
+	mustAllow(t, b, "g/k")(breakerSuccess)
+	for i := 0; i < 2; i++ {
+		mustAllow(t, b, "g/k")(breakerFailure)
+	}
+	if st := b.State("g/k"); st != "closed" {
+		t.Fatalf("state after 2 failures = %s, want closed", st)
+	}
+	mustAllow(t, b, "g/k")(breakerFailure)
+	if st := b.State("g/k"); st != "open" {
+		t.Fatalf("state after 3rd consecutive failure = %s, want open", st)
+	}
+	if _, err := b.Allow("g/k"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker admitted: %v", err)
+	}
+	// Other keys are untouched.
+	mustAllow(t, b, "g/other")(breakerSuccess)
+	if got := b.Trips(); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreakers(1, time.Second)
+	mustAllow(t, b, "g/k")(breakerFailure) // trips immediately
+	if _, err := b.Allow("g/k"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("breaker admitted before cooldown")
+	}
+	clk.advance(time.Second)
+	// First caller after cooldown becomes the probe; a second concurrent
+	// caller is still rejected.
+	probe := mustAllow(t, b, "g/k")
+	if _, err := b.Allow("g/k"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("half-open breaker admitted a second probe")
+	}
+	// Probe failure re-opens for a full cooldown.
+	probe(breakerFailure)
+	if st := b.State("g/k"); st != "open" {
+		t.Fatalf("state after failed probe = %s, want open", st)
+	}
+	if _, err := b.Allow("g/k"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("breaker admitted right after failed probe")
+	}
+	clk.advance(time.Second)
+	// Probe success closes the breaker for everyone.
+	mustAllow(t, b, "g/k")(breakerSuccess)
+	if st := b.State("g/k"); st != "closed" {
+		t.Fatalf("state after successful probe = %s, want closed", st)
+	}
+	mustAllow(t, b, "g/k")(breakerSuccess)
+	if got := b.Trips(); got != 2 {
+		t.Fatalf("trips = %d, want 2 (initial trip + failed probe)", got)
+	}
+}
+
+// TestBreakerSkippedProbeReleasesSlot pins the coalescing interaction: a
+// probe whose request turns out to be a follower (or is cancelled) must
+// hand the probe slot back so the breaker is not wedged half-open.
+func TestBreakerSkippedProbeReleasesSlot(t *testing.T) {
+	b, clk := newTestBreakers(1, time.Second)
+	mustAllow(t, b, "g/k")(breakerFailure)
+	clk.advance(time.Second)
+	probe := mustAllow(t, b, "g/k")
+	probe(breakerSkip)
+	// The next Allow may probe again immediately — no fresh cooldown.
+	mustAllow(t, b, "g/k")(breakerSuccess)
+	if st := b.State("g/k"); st != "closed" {
+		t.Fatalf("state = %s, want closed", st)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b, _ := newTestBreakers(-1, time.Second)
+	for i := 0; i < 100; i++ {
+		mustAllow(t, b, "g/k")(breakerFailure)
+	}
+	if _, err := b.Allow("g/k"); err != nil {
+		t.Fatalf("disabled breaker rejected: %v", err)
+	}
+	if b.Trips() != 0 {
+		t.Fatal("disabled breaker recorded trips")
+	}
+}

@@ -1,0 +1,221 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"graphct/internal/failpoint"
+	"graphct/internal/gen"
+)
+
+// TestChaos is the headline failure-hardening scenario from the issue:
+// every failpoint armed at 10% probability, 8 concurrent readers and 2
+// ingest writers hammering one daemon for several seconds. The process
+// must never die, every response must be one of the statuses the failure
+// model allows (200/429/500/503), per-reader epochs must stay monotonic,
+// and once the chaos is disarmed a clean request must succeed.
+func TestChaos(t *testing.T) {
+	duration := 5 * time.Second
+	if testing.Short() {
+		duration = time.Second
+	}
+
+	failpoint.Default.Seed(7)
+	armFailpoints(t,
+		"kernel.exec=panic(chaos)%10"+
+			";stream.apply=error(chaos)%10"+
+			";cache.put=error%10"+
+			";snapshot.publish=error%10")
+
+	reg := NewRegistry()
+	if _, err := reg.AddLive("live", 256); err != nil {
+		t.Fatal(err)
+	}
+	reg.Add("g", gen.PreferentialAttachment(300, 3, 1))
+	s := New(reg, Config{
+		MaxConcurrent:    2,
+		MaxQueued:        4, // small queue so 429s actually happen
+		IngestConcurrent: 2,
+		IngestQueued:     8,
+		SnapshotEvery:    64,
+		BreakerThreshold: 5,
+		BreakerCooldown:  50 * time.Millisecond,
+	})
+	ts := newHTTPServer(t, s)
+
+	stop := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	errc := make(chan error, 32)
+	report := func(format string, args ...any) {
+		select {
+		case errc <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+	validStatus := func(code int) bool {
+		switch code {
+		case http.StatusOK, http.StatusTooManyRequests,
+			http.StatusInternalServerError, http.StatusServiceUnavailable:
+			return true
+		}
+		return false
+	}
+
+	// 2 ingest writers: unique batch IDs, random small batches into the
+	// live graph, an occasional forced snapshot. Under injected faults a
+	// batch may be rejected (500) or deferred — both fine; what is not
+	// fine is a transport error (dead process) or an unexpected status.
+	var requests, failures int64
+	var cmu sync.Mutex
+	count := func(code int) {
+		cmu.Lock()
+		requests++
+		if code != http.StatusOK {
+			failures++
+		}
+		cmu.Unlock()
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for seq := 0; time.Now().Before(stop); seq++ {
+				batch := make([]map[string]any, 1+rng.Intn(24))
+				for i := range batch {
+					batch[i] = map[string]any{"u": rng.Intn(256), "v": rng.Intn(256)}
+				}
+				var body bytes.Buffer
+				_ = json.NewEncoder(&body).Encode(batch)
+				url := fmt.Sprintf("%s/graphs/live/ingest?batch_id=chaos-w%d/%d", ts.URL, w, seq)
+				resp, err := http.Post(url, "application/json", &body)
+				if err != nil {
+					report("writer %d: process unreachable: %v", w, err)
+					return
+				}
+				resp.Body.Close()
+				count(resp.StatusCode)
+				if !validStatus(resp.StatusCode) {
+					report("writer %d: ingest status %d", w, resp.StatusCode)
+					return
+				}
+				if rng.Intn(50) == 0 {
+					resp, err := http.Post(ts.URL+"/graphs/live/snapshot", "application/json", nil)
+					if err != nil {
+						report("writer %d: process unreachable: %v", w, err)
+						return
+					}
+					resp.Body.Close()
+					count(resp.StatusCode)
+					if !validStatus(resp.StatusCode) {
+						report("writer %d: snapshot status %d", w, resp.StatusCode)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// 8 readers across both graphs and several kernels, some opting into
+	// stale serving. Each reader checks every response it gets: allowed
+	// status, and a never-decreasing epoch header per graph (epochs only
+	// move forward, even while snapshot publication is being injected
+	// with failures).
+	kernels := []string{"components", "stats", "degrees", "clustering"}
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + r)))
+			lastEpoch := map[string]uint64{}
+			for time.Now().Before(stop) {
+				graphName := "g"
+				if rng.Intn(2) == 0 {
+					graphName = "live"
+				}
+				url := ts.URL + "/graphs/" + graphName + "/" + kernels[rng.Intn(len(kernels))]
+				if rng.Intn(3) == 0 {
+					url += "?stale=allow"
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					report("reader %d: process unreachable: %v", r, err)
+					return
+				}
+				resp.Body.Close()
+				count(resp.StatusCode)
+				if !validStatus(resp.StatusCode) {
+					report("reader %d: %s: status %d", r, url, resp.StatusCode)
+					return
+				}
+				if h := resp.Header.Get("X-Graphct-Epoch"); h != "" {
+					epoch, err := strconv.ParseUint(h, 10, 64)
+					if err != nil {
+						report("reader %d: bad epoch header %q", r, h)
+						return
+					}
+					if epoch < lastEpoch[graphName] {
+						report("reader %d: %s epoch went backwards: %d after %d",
+							r, graphName, epoch, lastEpoch[graphName])
+						return
+					}
+					lastEpoch[graphName] = epoch
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	// The chaos must have actually injected something, or the run proved
+	// nothing. With thousands of evals at 10% this cannot miss.
+	var injected int64
+	for _, st := range failpoint.Default.List() {
+		injected += st.Fires
+	}
+	if injected == 0 {
+		t.Fatalf("no failpoint fired across %d requests — chaos run was a no-op", requests)
+	}
+
+	// Disarm and prove the daemon recovered: a clean request succeeds.
+	// Breakers tripped by the chaos may still be cooling down, so allow
+	// retries past the 50ms cooldown.
+	failpoint.Default.DisarmAll()
+	deadline := time.Now().Add(5 * time.Second)
+	for _, url := range []string{ts.URL + "/graphs/g/components", ts.URL + "/graphs/live/stats"} {
+		for {
+			status, _, body := get(t, url)
+			if status == http.StatusOK {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("daemon did not recover after disarm: %s: %d %s", url, status, body)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// The metrics endpoint still serves and reflects the run.
+	status, _, body := get(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics after chaos: %d %s", status, body)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("metrics did not parse: %v", err)
+	}
+	t.Logf("chaos: %d requests (%d non-200), %d faults injected, %d kernel panics, %d breaker trips, %d stale serves",
+		requests, failures, injected,
+		s.metrics.KernelPanics.Load(), s.breakers.Trips(), s.metrics.StaleServed.Load())
+}

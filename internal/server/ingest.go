@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"graphct/internal/failpoint"
 	"graphct/internal/stream"
 )
 
@@ -24,6 +25,34 @@ import (
 type Live struct {
 	mu sync.Mutex
 	st *stream.Stream
+
+	// Idempotency window: the results of the last dedupWindow batches
+	// that carried a client-assigned batch_id, so a retried batch (the
+	// client saw a 5xx or lost the response after the server applied it)
+	// returns the original result instead of double-applying. Guarded by
+	// mu like the stream itself.
+	dedup     map[string]ingestResult
+	dedupRing []string
+	dedupNext int
+}
+
+// dedupWindow bounds how many batch IDs a live graph remembers.
+const dedupWindow = 1024
+
+// remember records id's result in the idempotency window, evicting the
+// oldest remembered batch once the window is full. Callers hold l.mu.
+func (l *Live) remember(id string, res ingestResult) {
+	if l.dedup == nil {
+		l.dedup = make(map[string]ingestResult, dedupWindow)
+	}
+	if len(l.dedupRing) < dedupWindow {
+		l.dedupRing = append(l.dedupRing, id)
+	} else {
+		delete(l.dedup, l.dedupRing[l.dedupNext])
+		l.dedupRing[l.dedupNext] = id
+		l.dedupNext = (l.dedupNext + 1) % dedupWindow
+	}
+	l.dedup[id] = res
 }
 
 // AddLive publishes an empty live graph over n vertices under name. The
@@ -98,6 +127,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "graph %q is static; only live graphs accept updates", name)
 		return
 	}
+	batchID := r.URL.Query().Get("batch_id")
+	if len(batchID) > 128 {
+		writeError(w, http.StatusBadRequest, "batch_id longer than 128 bytes")
+		return
+	}
 	batch, err := s.readBatch(r)
 	if err != nil {
 		if errors.Is(err, stream.ErrWireFormat) {
@@ -116,36 +150,80 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.beforeIngest(name)
 	}
 
-	live := e.Live
+	out, dup, err := s.applyIngest(name, e.Live, batchID, batch)
+	if err != nil {
+		if errors.Is(err, failpoint.ErrInjected) || errors.Is(err, errIngestPanic) {
+			// Synthetic failures and isolated panics are the server's
+			// fault: 500 tells idempotent clients to retry the batch.
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		} else {
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		}
+		return
+	}
+	if dup {
+		s.metrics.IngestDeduped.Add(1)
+		w.Header().Set("X-Graphct-Deduped", "true")
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// errIngestPanic marks a batch application that panicked and was isolated.
+var errIngestPanic = errors.New("ingest panicked")
+
+// applyIngest is the writer critical section: dedup check, batch
+// application, snapshot-on-threshold and idempotency recording all happen
+// under the live graph's writer lock, with panic isolation so a bug (or
+// injected panic) in the apply path poisons one batch, not the daemon.
+func (s *Server) applyIngest(name string, live *Live, batchID string, batch []stream.Update) (out ingestResult, dup bool, err error) {
 	live.mu.Lock()
+	defer live.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.IngestPanics.Add(1)
+			err = fmt.Errorf("%w: %v", errIngestPanic, r)
+		}
+	}()
+	if batchID != "" {
+		if prev, ok := live.dedup[batchID]; ok {
+			return prev, true, nil
+		}
+	}
+	// Re-resolve the entry under the lock: another batch may have
+	// published a newer epoch between routing and admission.
+	epoch := uint64(0)
+	if e, ok := s.reg.Get(name); ok {
+		epoch = e.Epoch
+	}
 	start := time.Now()
 	res, err := live.st.ApplyBatch(batch)
 	applyDur := time.Since(start)
 	if err != nil {
-		live.mu.Unlock()
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
-		return
+		return ingestResult{}, false, err
 	}
-	out := ingestResult{
+	out = ingestResult{
 		Accepted: len(batch),
 		Inserted: res.Inserted,
 		Deleted:  res.Deleted,
 		Ignored:  res.Ignored,
 		Edges:    live.st.NumEdges(),
-		Epoch:    e.Epoch,
+		Epoch:    epoch,
 	}
 	if live.st.SnapshotDue(s.cfg.SnapshotEvery) {
-		out.Epoch = s.publishSnapshot(name, live)
-		out.Snapshotted = true
+		if epoch, ok := s.publishSnapshot(name, live); ok {
+			out.Epoch = epoch
+			out.Snapshotted = true
+		}
 	}
 	out.Pending = live.st.PendingUpdates()
-	live.mu.Unlock()
-
+	if batchID != "" {
+		live.remember(batchID, out)
+	}
 	s.metrics.IngestBatches.Add(1)
 	s.metrics.IngestUpdates.Add(int64(len(batch)))
 	s.metrics.IngestMutations.Add(int64(res.Inserted + res.Deleted))
 	s.metrics.ObserveLatency("ingest", applyDur)
-	writeJSON(w, http.StatusOK, out)
+	return out, false, nil
 }
 
 // handleSnapshot force-publishes a snapshot of a live graph regardless of
@@ -163,28 +241,56 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "graph %q is static; nothing to snapshot", name)
 		return
 	}
-	live := e.Live
+	out, err := s.forceSnapshot(name, e.Live, e.Epoch)
+	if err != nil {
+		// A forced flush that cannot publish breaks the caller's
+		// "everything ingested is now visible" contract: 503 says retry.
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// forceSnapshot publishes a snapshot regardless of the threshold, with
+// the same panic isolation as the ingest path.
+func (s *Server) forceSnapshot(name string, live *Live, epoch uint64) (out ingestResult, err error) {
 	live.mu.Lock()
-	out := ingestResult{Edges: live.st.NumEdges(), Epoch: e.Epoch}
+	defer live.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.IngestPanics.Add(1)
+			err = fmt.Errorf("%w: %v", errIngestPanic, r)
+		}
+	}()
+	out = ingestResult{Edges: live.st.NumEdges(), Epoch: epoch}
 	if live.st.PendingUpdates() > 0 {
-		out.Epoch = s.publishSnapshot(name, live)
+		ne, ok := s.publishSnapshot(name, live)
+		if !ok {
+			return ingestResult{}, fmt.Errorf("snapshot publication deferred: %w", failpoint.ErrInjected)
+		}
+		out.Epoch = ne
 		out.Snapshotted = true
 	}
-	live.mu.Unlock()
-	writeJSON(w, http.StatusOK, out)
+	return out, nil
 }
 
 // publishSnapshot materializes live's current state and installs it as a
 // new registry entry (fresh epoch) under name. Callers must hold live.mu:
 // the materialize-and-publish pair is what keeps epoch order identical to
-// batch application order.
-func (s *Server) publishSnapshot(name string, live *Live) uint64 {
+// batch application order. The snapshot.publish failpoint defers the
+// publication (ok=false): pending updates stay pending and a later batch
+// or forced flush retries.
+func (s *Server) publishSnapshot(name string, live *Live) (uint64, bool) {
+	if err := failpoint.Eval(failpoint.SnapshotPublish); err != nil {
+		s.metrics.SnapshotsDeferred.Add(1)
+		return 0, false
+	}
 	start := time.Now()
 	g := live.st.Snapshot()
 	ne := s.reg.addEntry(name, g, live)
 	s.metrics.Snapshots.Add(1)
 	s.metrics.ObserveLatency("snapshot", time.Since(start))
-	return ne.Epoch
+	return ne.Epoch, true
 }
 
 func (s *Server) writeIngestError(w http.ResponseWriter, err error) {

@@ -78,11 +78,19 @@ type Metrics struct {
 	Rejected  atomic.Int64 // 429s from the admission queue
 	Canceled  atomic.Int64 // kernels stopped by deadline/cancellation
 
-	IngestBatches   atomic.Int64 // update batches applied to live graphs
-	IngestUpdates   atomic.Int64 // updates accepted inside those batches
-	IngestMutations atomic.Int64 // effective edge insertions + deletions
-	IngestRejected  atomic.Int64 // 429s from the ingest queue
-	Snapshots       atomic.Int64 // epoch snapshots published
+	KernelPanics    atomic.Int64 // kernel panics isolated by recover (500, not a crash)
+	BreakerRejected atomic.Int64 // 503s from open circuit breakers
+	StaleServed     atomic.Int64 // rejected requests answered from the stale cache
+	CacheDropped    atomic.Int64 // cache insertions dropped (cache.put failpoint)
+
+	IngestBatches     atomic.Int64 // update batches applied to live graphs
+	IngestUpdates     atomic.Int64 // updates accepted inside those batches
+	IngestMutations   atomic.Int64 // effective edge insertions + deletions
+	IngestRejected    atomic.Int64 // 429s from the ingest queue
+	IngestDeduped     atomic.Int64 // batches answered from the idempotency window
+	IngestPanics      atomic.Int64 // ingest panics isolated by recover
+	Snapshots         atomic.Int64 // epoch snapshots published
+	SnapshotsDeferred atomic.Int64 // publications skipped (snapshot.publish failpoint)
 
 	mu         sync.Mutex
 	kernelRuns map[string]*atomic.Int64
@@ -133,46 +141,65 @@ func (m *Metrics) ObserveLatency(kernel string, d time.Duration) {
 
 // MetricsSnapshot is the JSON document served at /metrics.
 type MetricsSnapshot struct {
-	Requests   int64                        `json:"requests"`
-	CacheHits  int64                        `json:"cache_hits"`
-	CacheMiss  int64                        `json:"cache_misses"`
-	Coalesced  int64                        `json:"coalesced"`
-	Rejected   int64                        `json:"rejected"`
-	Canceled   int64                        `json:"canceled"`
-	QueueDepth int64                        `json:"queue_depth"`
-	Running    int                          `json:"running"`
-	CacheBytes int64                        `json:"cache_bytes"`
-	CacheItems int                          `json:"cache_items"`
+	Requests   int64 `json:"requests"`
+	CacheHits  int64 `json:"cache_hits"`
+	CacheMiss  int64 `json:"cache_misses"`
+	Coalesced  int64 `json:"coalesced"`
+	Rejected   int64 `json:"rejected"`
+	Canceled   int64 `json:"canceled"`
+	QueueDepth int64 `json:"queue_depth"`
+	Running    int   `json:"running"`
+	CacheBytes int64 `json:"cache_bytes"`
+	CacheItems int   `json:"cache_items"`
 
-	IngestBatches    int64 `json:"ingest_batches"`
-	IngestUpdates    int64 `json:"ingest_updates"`
-	IngestMutations  int64 `json:"ingest_mutations"`
-	IngestRejected   int64 `json:"ingest_rejected"`
-	Snapshots        int64 `json:"snapshots"`
-	IngestQueueDepth int64 `json:"ingest_queue_depth"`
-	IngestRunning    int   `json:"ingest_running"`
+	KernelPanics    int64 `json:"kernel_panics"`
+	BreakerRejected int64 `json:"breaker_rejected"`
+	BreakerTrips    int64 `json:"breaker_trips"`
+	StaleServed     int64 `json:"stale_served"`
+	CacheDropped    int64 `json:"cache_put_dropped"`
+
+	IngestBatches     int64 `json:"ingest_batches"`
+	IngestUpdates     int64 `json:"ingest_updates"`
+	IngestMutations   int64 `json:"ingest_mutations"`
+	IngestRejected    int64 `json:"ingest_rejected"`
+	IngestDeduped     int64 `json:"ingest_deduped"`
+	IngestPanics      int64 `json:"ingest_panics"`
+	Snapshots         int64 `json:"snapshots"`
+	SnapshotsDeferred int64 `json:"snapshots_deferred"`
+	IngestQueueDepth  int64 `json:"ingest_queue_depth"`
+	IngestRunning     int   `json:"ingest_running"`
 
 	KernelRuns map[string]int64             `json:"kernel_runs,omitempty"`
 	LatencyMs  map[string]HistogramSnapshot `json:"latency_ms,omitempty"`
 }
 
 // Snapshot captures the current counters plus the gauges owned by the
-// two admission pools and the cache.
-func (m *Metrics) Snapshot(pool, ingest *Pool, cache *Cache) MetricsSnapshot {
+// two admission pools, the cache and the breaker set.
+func (m *Metrics) Snapshot(pool, ingest *Pool, cache *Cache, breakers *BreakerSet) MetricsSnapshot {
 	s := MetricsSnapshot{
-		Requests:        m.Requests.Load(),
-		CacheHits:       m.CacheHits.Load(),
-		CacheMiss:       m.CacheMiss.Load(),
-		Coalesced:       m.Coalesced.Load(),
-		Rejected:        m.Rejected.Load(),
-		Canceled:        m.Canceled.Load(),
-		IngestBatches:   m.IngestBatches.Load(),
-		IngestUpdates:   m.IngestUpdates.Load(),
-		IngestMutations: m.IngestMutations.Load(),
-		IngestRejected:  m.IngestRejected.Load(),
-		Snapshots:       m.Snapshots.Load(),
-		KernelRuns:      make(map[string]int64),
-		LatencyMs:       make(map[string]HistogramSnapshot),
+		Requests:          m.Requests.Load(),
+		CacheHits:         m.CacheHits.Load(),
+		CacheMiss:         m.CacheMiss.Load(),
+		Coalesced:         m.Coalesced.Load(),
+		Rejected:          m.Rejected.Load(),
+		Canceled:          m.Canceled.Load(),
+		KernelPanics:      m.KernelPanics.Load(),
+		BreakerRejected:   m.BreakerRejected.Load(),
+		StaleServed:       m.StaleServed.Load(),
+		CacheDropped:      m.CacheDropped.Load(),
+		IngestBatches:     m.IngestBatches.Load(),
+		IngestUpdates:     m.IngestUpdates.Load(),
+		IngestMutations:   m.IngestMutations.Load(),
+		IngestRejected:    m.IngestRejected.Load(),
+		IngestDeduped:     m.IngestDeduped.Load(),
+		IngestPanics:      m.IngestPanics.Load(),
+		Snapshots:         m.Snapshots.Load(),
+		SnapshotsDeferred: m.SnapshotsDeferred.Load(),
+		KernelRuns:        make(map[string]int64),
+		LatencyMs:         make(map[string]HistogramSnapshot),
+	}
+	if breakers != nil {
+		s.BreakerTrips = breakers.Trips()
 	}
 	if pool != nil {
 		s.QueueDepth = pool.QueueDepth()

@@ -65,5 +65,10 @@ func (p *Pool) Release() { <-p.slots }
 // QueueDepth returns the number of requests waiting for a slot.
 func (p *Pool) QueueDepth() int64 { return p.waiting.Load() }
 
+// Accepting reports whether the admission queue still has headroom — the
+// readiness signal: a pool whose queue is full answers every new request
+// with ErrQueueFull, so the daemon should shed traffic upstream.
+func (p *Pool) Accepting() bool { return p.waiting.Load() < p.maxQ }
+
 // Running returns the number of kernels currently executing.
 func (p *Pool) Running() int { return len(p.slots) }

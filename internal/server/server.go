@@ -23,16 +23,19 @@ package server
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"graphct/internal/bc"
 	"graphct/internal/core"
+	"graphct/internal/failpoint"
 	"graphct/internal/sssp"
 	"graphct/internal/stats"
 )
@@ -67,18 +70,33 @@ type Config struct {
 	// MaxBatch bounds the updates accepted in one ingest request
 	// (default 1 << 20); larger batches get 413.
 	MaxBatch int
+	// BreakerThreshold trips a (graph, kernel) circuit breaker after this
+	// many consecutive kernel failures (default 5; negative disables).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before it
+	// half-opens for a single probe (default 1s).
+	BreakerCooldown time.Duration
+	// Debug exposes the failpoint control endpoint (/debug/failpoints).
+	// Off by default: fault injection is an operator tool, not an API.
+	Debug bool
 }
 
 // Server serves graph-analysis requests over a Registry.
 type Server struct {
-	reg     *Registry
-	cache   *Cache
-	flight  *flightGroup
-	pool    *Pool
-	ingest  *Pool
-	metrics *Metrics
-	mux     *http.ServeMux
-	cfg     Config
+	reg      *Registry
+	cache    *Cache
+	flight   *flightGroup
+	pool     *Pool
+	ingest   *Pool
+	metrics  *Metrics
+	breakers *BreakerSet
+	mux      *http.ServeMux
+	cfg      Config
+
+	// ready gates /readyz: daemons flip it once preloads finish, so load
+	// balancers hold traffic while multi-GiB graphs parse. Servers start
+	// ready; cmd/graphctd opts into the not-ready window.
+	ready atomic.Bool
 
 	// beforeKernel, when non-nil, runs inside the pool slot right before
 	// a kernel executes — a test seam for holding executions in flight.
@@ -106,16 +124,21 @@ func New(reg *Registry, cfg Config) *Server {
 		cfg.MaxBatch = 1 << 20
 	}
 	s := &Server{
-		reg:     reg,
-		cache:   NewCache(cfg.CacheBytes),
-		flight:  newFlightGroup(),
-		pool:    NewPool(cfg.MaxConcurrent, cfg.MaxQueued),
-		ingest:  NewPool(cfg.IngestConcurrent, cfg.IngestQueued),
-		metrics: NewMetrics(),
-		cfg:     cfg,
+		reg:      reg,
+		cache:    NewCache(cfg.CacheBytes),
+		flight:   newFlightGroup(),
+		pool:     NewPool(cfg.MaxConcurrent, cfg.MaxQueued),
+		ingest:   NewPool(cfg.IngestConcurrent, cfg.IngestQueued),
+		metrics:  NewMetrics(),
+		breakers: NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		cfg:      cfg,
 	}
+	s.ready.Store(true)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /debug/failpoints", s.handleFailpoints)
+	mux.HandleFunc("POST /debug/failpoints", s.handleFailpoints)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /graphs", s.handleListGraphs)
 	mux.HandleFunc("POST /graphs", s.handleLoadGraph)
@@ -130,6 +153,11 @@ func New(reg *Registry, cfg Config) *Server {
 
 // Metrics exposes the server's counters (used by tests and cmd/graphctd).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// SetReady flips the /readyz gate. Servers construct ready; a daemon
+// that preloads graphs in the background sets false before listening and
+// true once every preload has parsed.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -152,7 +180,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.pool, s.ingest, s.cache))
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.pool, s.ingest, s.cache, s.breakers))
 }
 
 type graphInfo struct {
@@ -426,8 +454,43 @@ func vertexParam(q url.Values, name string, n int) (int32, error) {
 	return int32(v), nil
 }
 
-// handleKernel is the concurrent serving path: cache lookup, then
-// singleflight-coalesced execution through the admission pool.
+// errKernelPanic marks a kernel execution that panicked and was isolated
+// by the per-kernel recover; it maps to HTTP 500 instead of a dead daemon.
+var errKernelPanic = errors.New("kernel panicked")
+
+// runKernel executes one kernel with panic isolation: a panicking kernel
+// (organic or injected via the kernel.exec failpoint) is converted into
+// an error on this request alone, counted in kernel_panics, and the
+// daemon keeps serving.
+func (s *Server) runKernel(ctx context.Context, run kernelRun) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.KernelPanics.Add(1)
+			err = fmt.Errorf("%w: %v", errKernelPanic, r)
+		}
+	}()
+	if err := failpoint.Eval(failpoint.KernelExec); err != nil {
+		return nil, err
+	}
+	return run(ctx)
+}
+
+// cacheResult inserts a computed kernel result under its epoch-scoped key
+// and refreshes the epochless stale entry behind ?stale=allow. The
+// cache.put failpoint drops both insertions — degrading hit rate, never
+// the response.
+func (s *Server) cacheResult(key, staleKey string, epoch uint64, body []byte) {
+	if err := failpoint.Eval(failpoint.CachePut); err != nil {
+		s.metrics.CacheDropped.Add(1)
+		return
+	}
+	s.cache.Put(key, body)
+	s.cache.Put(staleKey, encodeStale(epoch, body))
+}
+
+// handleKernel is the concurrent serving path: cache lookup, circuit
+// breaker, then singleflight-coalesced execution through the admission
+// pool with panic isolation and optional stale fallback.
 func (s *Server) handleKernel(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	kernel := r.PathValue("kernel")
@@ -456,6 +519,15 @@ func (s *Server) handleKernel(w http.ResponseWriter, r *http.Request) {
 		}
 		timeout = time.Duration(ms) * time.Millisecond
 	}
+	staleOK := false
+	switch r.URL.Query().Get("stale") {
+	case "", "deny":
+	case "allow":
+		staleOK = true
+	default:
+		writeError(w, http.StatusBadRequest, "bad stale %q (want allow or deny)", r.URL.Query().Get("stale"))
+		return
+	}
 	s.metrics.Requests.Add(1)
 
 	// The whole request — cache key, coalescing group, kernel input — is
@@ -463,12 +535,27 @@ func (s *Server) handleKernel(w http.ResponseWriter, r *http.Request) {
 	// cannot tear the response; the header tells clients which epoch served.
 	epochHeader(w, e.Epoch)
 	key := fmt.Sprintf("%s@%d/%s?%s", e.Name, e.Epoch, kernel, params)
+	staleKey := staleCacheKey(e.Name, kernel, params)
 	if body, ok := s.cache.Get(key); ok {
 		s.metrics.CacheHits.Add(1)
 		s.writeRaw(w, body, "cache")
 		return
 	}
 	s.metrics.CacheMiss.Add(1)
+
+	// Cache hits serve even through an open breaker (they cost no kernel
+	// run); everything past this point risks an execution, so a tripped
+	// (graph, kernel) pair short-circuits to 503 — or a stale hit.
+	record, err := s.breakers.Allow(name + "/" + kernel)
+	if err != nil {
+		s.metrics.BreakerRejected.Add(1)
+		if staleOK && s.serveStale(w, staleKey) {
+			return
+		}
+		w.Header().Set("X-Graphct-Breaker", "open")
+		s.writeKernelError(w, err)
+		return
+	}
 
 	ctx := r.Context()
 	if timeout > 0 {
@@ -490,7 +577,7 @@ func (s *Server) handleKernel(w http.ResponseWriter, r *http.Request) {
 			s.beforeKernel(kernel)
 		}
 		start := time.Now()
-		res, err := run(ctx)
+		res, err := s.runKernel(ctx, run)
 		s.metrics.ObserveLatency(kernel, time.Since(start))
 		if err != nil {
 			return nil, err
@@ -499,13 +586,28 @@ func (s *Server) handleKernel(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		s.cache.Put(key, b)
+		s.cacheResult(key, staleKey, e.Epoch, b)
 		return b, nil
 	})
 	if shared {
 		s.metrics.Coalesced.Add(1)
 	}
+	// Only the flight leader's outcome feeds the breaker, and only
+	// outcomes that say something about the kernel: backpressure and
+	// client cancellations are skipped.
+	switch {
+	case shared, errors.Is(err, ErrQueueFull),
+		errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		record(breakerSkip)
+	case err != nil:
+		record(breakerFailure)
+	default:
+		record(breakerSuccess)
+	}
 	if err != nil {
+		if staleOK && errors.Is(err, ErrQueueFull) && s.serveStale(w, staleKey) {
+			return
+		}
 		s.writeKernelError(w, err)
 		return
 	}
@@ -514,6 +616,37 @@ func (s *Server) handleKernel(w http.ResponseWriter, r *http.Request) {
 		source = "coalesced"
 	}
 	s.writeRaw(w, body, source)
+}
+
+// staleCacheKey is the epochless cache key holding the latest computed
+// result for (graph, kernel, params), whatever epoch produced it. The
+// NUL separator keeps it disjoint from epoch-scoped keys, which never
+// contain one.
+func staleCacheKey(name, kernel, params string) string {
+	return "stale\x00" + name + "/" + kernel + "?" + params
+}
+
+// encodeStale prefixes body with the big-endian epoch that computed it.
+func encodeStale(epoch uint64, body []byte) []byte {
+	out := make([]byte, 8+len(body))
+	binary.BigEndian.PutUint64(out, epoch)
+	copy(out[8:], body)
+	return out
+}
+
+// serveStale answers a rejected request from the epochless stale entry,
+// if one exists: HTTP 200 with X-Graphct-Stale naming the epoch that
+// actually computed the body (X-Graphct-Epoch still names the current
+// one). Returns false when nothing stale is cached.
+func (s *Server) serveStale(w http.ResponseWriter, staleKey string) bool {
+	raw, ok := s.cache.Get(staleKey)
+	if !ok || len(raw) < 8 {
+		return false
+	}
+	s.metrics.StaleServed.Add(1)
+	w.Header().Set("X-Graphct-Stale", strconv.FormatUint(binary.BigEndian.Uint64(raw), 10))
+	s.writeRaw(w, raw[8:], "stale")
+	return true
 }
 
 func (s *Server) writeRaw(w http.ResponseWriter, body []byte, source string) {
@@ -528,6 +661,8 @@ func (s *Server) writeKernelError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrQueueFull):
 		s.metrics.Rejected.Add(1)
 		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrBreakerOpen):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.metrics.Canceled.Add(1)
 		writeError(w, http.StatusGatewayTimeout, "kernel canceled: %v", err)

@@ -1,0 +1,63 @@
+package sssp
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"graphct/internal/gen"
+)
+
+const cancelBudget = 500 * time.Millisecond
+
+func checkGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDeltaSteppingCtxCancellation(t *testing.T) {
+	// A long path is delta-stepping's worst case — hundreds of thousands
+	// of tiny sequential bucket rounds — so the uncancelled run takes
+	// well over the cancel budget and a mid-run cancel is guaranteed to
+	// land while rounds are still being settled.
+	g := gen.Path(1_200_000)
+
+	_, _ = DeltaSteppingCtx(context.Background(), gen.Path(4), 0, 0)
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := DeltaSteppingCtx(ctx, g, 0, 0)
+	if !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("pre-cancelled: res %v err %v, want nil result and context.Canceled", res, err)
+	}
+	if d := time.Since(start); d > cancelBudget {
+		t.Fatalf("pre-cancelled call took %v, budget %v", d, cancelBudget)
+	}
+
+	ctx, cancel = context.WithCancel(context.Background())
+	timer := time.AfterFunc(10*time.Millisecond, cancel)
+	defer timer.Stop()
+	start = time.Now()
+	res, err = DeltaSteppingCtx(ctx, g, 0, 0)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("mid-run cancel: res %v err %v, want nil result and context.Canceled", res, err)
+	}
+	if elapsed > 10*time.Millisecond+cancelBudget {
+		t.Fatalf("mid-run cancel returned after %v, budget %v", elapsed, cancelBudget)
+	}
+	checkGoroutines(t, baseline)
+}

@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"graphct/internal/gen"
+)
+
+const cancelBudget = 500 * time.Millisecond
+
+func checkGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestEstimateDiameterCtxCancellation(t *testing.T) {
+	// 256 sampled BFS sweeps over this graph run for well over the cancel
+	// budget, so the mid-run cancel lands while sources are still queued.
+	g := gen.PreferentialAttachment(30000, 8, 1)
+
+	_, _ = EstimateDiameterCtx(context.Background(), g, 1, 4, 1)
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	d, err := EstimateDiameterCtx(ctx, g, 256, 4, 1)
+	if !errors.Is(err, context.Canceled) || d.Estimate != 0 {
+		t.Fatalf("pre-cancelled: %+v err %v, want zero estimate and context.Canceled", d, err)
+	}
+	if el := time.Since(start); el > cancelBudget {
+		t.Fatalf("pre-cancelled call took %v, budget %v", el, cancelBudget)
+	}
+
+	ctx, cancel = context.WithCancel(context.Background())
+	timer := time.AfterFunc(10*time.Millisecond, cancel)
+	defer timer.Stop()
+	start = time.Now()
+	d, err = EstimateDiameterCtx(ctx, g, 256, 4, 1)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) || d.Estimate != 0 {
+		t.Fatalf("mid-run cancel: %+v err %v, want zero estimate and context.Canceled", d, err)
+	}
+	if elapsed > 10*time.Millisecond+cancelBudget {
+		t.Fatalf("mid-run cancel returned after %v, budget %v", elapsed, cancelBudget)
+	}
+	checkGoroutines(t, baseline)
+}

@@ -3,6 +3,7 @@ package stream
 import (
 	"sync/atomic"
 
+	"graphct/internal/failpoint"
 	"graphct/internal/par"
 )
 
@@ -44,6 +45,12 @@ func (p pair) key() int64 { return int64(p.lo)<<32 | int64(uint32(p.hi)) }
 //
 // The result bit-matches applying the same updates one at a time.
 func (s *Stream) ApplyBatch(batch []Update) (BatchResult, error) {
+	// Injection point for the chaos harness: firing here, before any
+	// validation or mutation, guarantees an injected failure leaves the
+	// stream unchanged — the property idempotent retries rely on.
+	if err := failpoint.Eval(failpoint.StreamApply); err != nil {
+		return BatchResult{}, err
+	}
 	var res BatchResult
 	maxTime := s.lastTime
 	for _, up := range batch {
