@@ -21,7 +21,12 @@ var update = flag.Bool("update", false, "rewrite golden files from current outpu
 // sampled centrality, kernels — any behavioral drift in output shows up
 // as a diff here.
 func TestGoldenScripts(t *testing.T) {
-	scripts, err := filepath.Glob(filepath.Join("testdata", "scripts", "*.gct"))
+	// Scripts run from a staged copy of testdata so commands that write
+	// files (save snapshot) never dirty the checkout; goldens are still
+	// read from — and with -update, re-blessed into — the real
+	// testdata/golden directory.
+	stage := stageTestdata(t)
+	scripts, err := filepath.Glob(filepath.Join(stage, "scripts", "*.gct"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,4 +58,33 @@ func TestGoldenScripts(t *testing.T) {
 			}
 		})
 	}
+}
+
+// stageTestdata copies testdata/scripts and the shared input graph into a
+// temp directory, preserving the relative layout scripts assume
+// (../g.dimacs from the scripts directory).
+func stageTestdata(t *testing.T) string {
+	t.Helper()
+	stage := t.TempDir()
+	if err := os.Mkdir(filepath.Join(stage, "scripts"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	copyFile := func(src, dst string) {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dst, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	copyFile(filepath.Join("testdata", "g.dimacs"), filepath.Join(stage, "g.dimacs"))
+	scripts, err := filepath.Glob(filepath.Join("testdata", "scripts", "*.gct"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scripts {
+		copyFile(s, filepath.Join(stage, "scripts", filepath.Base(s)))
+	}
+	return stage
 }

@@ -9,9 +9,9 @@
 //
 // Script commands:
 //
-//	read dimacs FILE | read edgelist FILE | read binary FILE
+//	read dimacs FILE | read edgelist FILE | read binary FILE | read snapshot FILE
 //	print diameter [PERCENT] | print degrees | print components
-//	save graph | restore graph
+//	save graph | save snapshot FILE | restore graph
 //	extract component N [=> comp.bin]
 //	kcentrality K SAMPLES [=> scores.txt]
 //	kcores K
@@ -19,6 +19,10 @@
 //	stats | components | undirected | reciprocal | bfs SRC DEPTH
 //	sssp SRC [=> dist.txt]
 //	compare FILE1 FILE2 TOP_PERCENT
+//
+// "read snapshot" and "save snapshot" use graphctd's durable snapshot
+// format, so scripts can pick up a graph from — or hand one to — a
+// daemon data directory.
 //
 // Script errors are reported with the file and line of the failing
 // command. Exit codes distinguish failure classes: 2 for parse/usage

@@ -25,6 +25,7 @@
 //	POST   /graphs/{name}/ingest       JSON [{"u","v","time","del"}] or the
 //	                                   binary framing (see internal/stream)
 //	POST   /graphs/{name}/snapshot     force-publish a live graph's epoch
+//	GET    /graphs/{name}/epochs       current + retained durable epochs
 //	GET    /graphs/{name}/components
 //	GET    /graphs/{name}/stats
 //	GET    /graphs/{name}/degrees
@@ -41,6 +42,14 @@
 // endpoint; every -snapshot-every effective mutations the daemon publishes
 // a new immutable epoch that subsequent kernel requests resolve, while
 // requests already in flight keep their old epoch's view.
+//
+// Durability: with -data-dir set, every published epoch of a live graph is
+// committed to a blob store under the directory and every applied ingest
+// batch is appended to a write-ahead log between epochs; a restarted
+// daemon warm-restarts each live graph from its newest snapshot plus the
+// log tail (acked batches survive kill -9), reporting "recovering" on
+// /readyz meanwhile. -retain-epochs bounds the snapshot history, which
+// kernel endpoints can address with ?epoch=E for point-in-time reads.
 //
 // Failure handling: kernel panics are isolated per request (500 +
 // kernel_panics metric, the daemon keeps serving); a (graph, kernel)
@@ -95,6 +104,8 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive kernel failures tripping a (graph,kernel) circuit breaker (<0 disables)")
 	breakerCooldown := flag.Duration("breaker-cooldown", time.Second, "how long a tripped breaker stays open before half-opening")
 	debug := flag.Bool("debug", false, "expose the POST /debug/failpoints fault-injection endpoint")
+	dataDir := flag.String("data-dir", "", "durability root: live graphs persist snapshots and a write-ahead batch log here and warm-restart on boot (empty = in-memory only)")
+	retainEpochs := flag.Int("retain-epochs", 3, "durable snapshot epochs kept per live graph (also serve ?epoch=E point-in-time reads)")
 	var graphs graphFlags
 	flag.Var(&graphs, "graph", "preload NAME=FORMAT:PATH (formats: dimacs, edgelist, binary) or NAME=live:VERTICES (repeatable)")
 	flag.Parse()
@@ -125,6 +136,8 @@ func main() {
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 		Debug:            *debug,
+		DataDir:          *dataDir,
+		RetainEpochs:     *retainEpochs,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -138,6 +151,22 @@ func main() {
 	srv.SetReady(false)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	go func() {
+		// Warm restart before preloads: every live graph with durable
+		// state in -data-dir is rebuilt from its newest snapshot plus the
+		// write-ahead log tail. /readyz reports "recovering" meanwhile.
+		if *dataDir != "" {
+			srv.SetRecovering(true)
+			start := time.Now()
+			n, err := srv.RecoverAll()
+			srv.SetRecovering(false)
+			if err != nil {
+				log.Printf("graphctd: recovery: %v", err)
+			}
+			if n > 0 {
+				log.Printf("recovered %d live graph(s) from %s in %v",
+					n, *dataDir, time.Since(start).Round(time.Millisecond))
+			}
+		}
 		for _, spec := range graphs {
 			name, rest, ok := strings.Cut(spec, "=")
 			if !ok {
@@ -153,7 +182,14 @@ func main() {
 				if err != nil {
 					log.Fatalf("graphctd: bad -graph %q (want NAME=live:VERTICES)", spec)
 				}
-				if _, err := reg.AddLive(name, n); err != nil {
+				// A recovered graph under the same name wins: the preload
+				// flag declares the graph should exist, recovery already
+				// restored its contents.
+				if _, ok := reg.Get(name); ok {
+					log.Printf("live graph %q already recovered; keeping durable state", name)
+					continue
+				}
+				if _, err := srv.AddLive(name, n); err != nil {
 					log.Fatalf("graphctd: %v", err)
 				}
 				log.Printf("created live graph %q over %d vertices", name, n)

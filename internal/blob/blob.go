@@ -1,0 +1,60 @@
+// Package blob provides the durability substrate for graphctd: a small
+// Store interface over opaque keys plus the on-disk object and snapshot
+// framing every durable artifact shares. The filesystem implementation
+// (fs.go) commits objects with write-to-temp + fsync + atomic rename and
+// wraps every payload in a CRC32C frame, so a half-written or bit-rotted
+// object is detected at read time instead of silently recovering garbage.
+// The interface is deliberately minimal — Put/Get/List/Delete over flat
+// keys — so an object-store backend (S3-style, keyed uploads) can slot in
+// behind the same call sites later.
+package blob
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Store is a durable key/value object store. Keys are opaque
+// slash-separated paths ("name/epoch-000....snap"); values are immutable
+// once written (Put over an existing key replaces it atomically).
+type Store interface {
+	// Put durably stores data under key, replacing any previous object.
+	// When Put returns nil the object survives a crash.
+	Put(key string, data []byte) error
+	// Get returns the object stored under key, verifying integrity.
+	// A missing key returns ErrNotFound; a damaged object ErrCorrupt.
+	Get(key string) ([]byte, error)
+	// List returns all keys with the given prefix in lexicographic order
+	// ("" lists everything).
+	List(prefix string) ([]string, error)
+	// Delete removes the object under key; missing keys return ErrNotFound.
+	Delete(key string) error
+}
+
+// ErrNotFound reports a Get or Delete of a key with no object.
+var ErrNotFound = errors.New("blob: object not found")
+
+// ErrCorrupt reports an object that exists but fails its integrity frame
+// (bad magic, truncated payload, CRC mismatch).
+var ErrCorrupt = errors.New("blob: corrupt object")
+
+// ValidateKey rejects keys that cannot map safely onto a filesystem path:
+// empty keys, absolute paths, path traversal, and segments with reserved
+// characters. Stores call it on every operation so hostile graph names
+// cannot escape the store root.
+func ValidateKey(key string) error {
+	if key == "" {
+		return fmt.Errorf("blob: empty key")
+	}
+	if strings.ContainsAny(key, "\\\x00") {
+		return fmt.Errorf("blob: key %q contains reserved characters", key)
+	}
+	for _, seg := range strings.Split(key, "/") {
+		switch seg {
+		case "", ".", "..":
+			return fmt.Errorf("blob: key %q has unsafe path segment", key)
+		}
+	}
+	return nil
+}

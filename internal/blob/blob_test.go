@@ -1,0 +1,216 @@
+package blob
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphct/internal/failpoint"
+	"graphct/internal/graph"
+)
+
+func TestFSRoundTrip(t *testing.T) {
+	fs := NewFS(t.TempDir())
+	key := "g/epoch-00000000000000000007.snap"
+	payload := []byte("hello durable world")
+	if err := fs.Put(key, payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := fs.Get(key)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("Get = %q, want %q", got, payload)
+	}
+}
+
+func TestFSGetMissing(t *testing.T) {
+	fs := NewFS(t.TempDir())
+	if _, err := fs.Get("nope/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing = %v, want ErrNotFound", err)
+	}
+	if err := fs.Delete("nope/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Delete missing = %v, want ErrNotFound", err)
+	}
+}
+
+func TestFSListSortedWithPrefix(t *testing.T) {
+	fs := NewFS(t.TempDir())
+	for _, key := range []string{"b/2", "a/1", "b/1", "c"} {
+		if err := fs.Put(key, []byte(key)); err != nil {
+			t.Fatalf("Put %q: %v", key, err)
+		}
+	}
+	all, err := fs.List("")
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	want := []string{"a/1", "b/1", "b/2", "c"}
+	if len(all) != len(want) {
+		t.Fatalf("List = %v, want %v", all, want)
+	}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Fatalf("List = %v, want %v", all, want)
+		}
+	}
+	bs, err := fs.List("b/")
+	if err != nil {
+		t.Fatalf("List(b/): %v", err)
+	}
+	if len(bs) != 2 || bs[0] != "b/1" || bs[1] != "b/2" {
+		t.Fatalf("List(b/) = %v, want [b/1 b/2]", bs)
+	}
+}
+
+func TestFSListMissingRoot(t *testing.T) {
+	fs := NewFS(filepath.Join(t.TempDir(), "never-created"))
+	keys, err := fs.List("")
+	if err != nil || len(keys) != 0 {
+		t.Fatalf("List on missing root = %v, %v; want empty, nil", keys, err)
+	}
+}
+
+func TestFSDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFS(dir)
+	key := "g/obj"
+	if err := fs.Put(key, []byte("payload payload payload")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	path := filepath.Join(dir, key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	raw[len(raw)-1] ^= 0xff // flip a payload bit under the CRC
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	if _, err := fs.Get(key); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get corrupted = %v, want ErrCorrupt", err)
+	}
+	// Truncation is also corruption, not a crash.
+	if err := os.WriteFile(path, raw[:7], 0o644); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if _, err := fs.Get(key); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get truncated = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestValidateKey(t *testing.T) {
+	for _, key := range []string{"a", "a/b", "g/epoch-1.snap", "dot.dot/x-y_z"} {
+		if err := ValidateKey(key); err != nil {
+			t.Errorf("ValidateKey(%q) = %v, want nil", key, err)
+		}
+	}
+	for _, key := range []string{"", "/a", "a/", "a//b", "..", "a/../b", ".", "a/.", "a\\b", "a\x00b"} {
+		if err := ValidateKey(key); err == nil {
+			t.Errorf("ValidateKey(%q) = nil, want error", key)
+		}
+	}
+	fs := NewFS(t.TempDir())
+	if err := fs.Put("../escape", []byte("x")); err == nil {
+		t.Fatalf("Put with traversal key succeeded")
+	}
+}
+
+func TestFSPutFailpoint(t *testing.T) {
+	defer failpoint.Default.DisarmAll()
+	if err := failpoint.Default.Arm("blob.put=error(boom)"); err != nil {
+		t.Fatalf("arm: %v", err)
+	}
+	fs := NewFS(t.TempDir())
+	err := fs.Put("g/x", []byte("x"))
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("Put under failpoint = %v, want injected error", err)
+	}
+	failpoint.Default.DisarmAll()
+	if _, err := fs.Get("g/x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("failed Put left an object behind: %v", err)
+	}
+}
+
+func ringGraph(n int) *graph.Graph {
+	edges := make([]graph.Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = graph.Edge{U: int32(i), V: int32((i + 1) % n)}
+	}
+	g, err := graph.FromEdges(n, edges, graph.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := ringGraph(12)
+	s := Snapshot{Epoch: 42, LastTime: 1234567, Graph: g}
+	data, err := EncodeSnapshot(s)
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	got, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if got.Epoch != 42 || got.LastTime != 1234567 {
+		t.Fatalf("roundtrip header = (%d,%d), want (42,1234567)", got.Epoch, got.LastTime)
+	}
+	if got.Graph.NumVertices() != g.NumVertices() || got.Graph.NumEdges() != g.NumEdges() {
+		t.Fatalf("roundtrip graph = %d/%d, want %d/%d",
+			got.Graph.NumVertices(), got.Graph.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "g.snap")
+	s := Snapshot{Epoch: 7, LastTime: -1, Graph: ringGraph(5)}
+	if err := WriteSnapshotFile(path, s); err != nil {
+		t.Fatalf("WriteSnapshotFile: %v", err)
+	}
+	got, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("ReadSnapshotFile: %v", err)
+	}
+	if got.Epoch != 7 || got.Graph.NumVertices() != 5 {
+		t.Fatalf("roundtrip = epoch %d over %d vertices, want 7 over 5", got.Epoch, got.Graph.NumVertices())
+	}
+}
+
+// TestSnapshotFileMatchesStoreObject pins the compatibility contract:
+// WriteSnapshotFile emits the exact bytes the fs store holds for the same
+// snapshot, so graphct's "read snapshot" works on a daemon's data dir.
+func TestSnapshotFileMatchesStoreObject(t *testing.T) {
+	dir := t.TempDir()
+	s := Snapshot{Epoch: 9, LastTime: 5, Graph: ringGraph(8)}
+	data, err := EncodeSnapshot(s)
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	fs := NewFS(filepath.Join(dir, "blobs"))
+	if err := fs.Put("g/e.snap", data); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	file := filepath.Join(dir, "direct.snap")
+	if err := WriteSnapshotFile(file, s); err != nil {
+		t.Fatalf("WriteSnapshotFile: %v", err)
+	}
+	a, err := os.ReadFile(filepath.Join(dir, "blobs", "g", "e.snap"))
+	if err != nil {
+		t.Fatalf("read store object: %v", err)
+	}
+	b, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatalf("read snapshot file: %v", err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("store object and snapshot file bytes differ (%d vs %d bytes)", len(a), len(b))
+	}
+	if _, err := ReadSnapshotFile(filepath.Join(dir, "blobs", "g", "e.snap")); err != nil {
+		t.Fatalf("ReadSnapshotFile on store object: %v", err)
+	}
+}

@@ -1,0 +1,101 @@
+package blob
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Object frame — the integrity envelope around every stored payload:
+//
+//	magic   "GCTO"
+//	version 0x01
+//	length  uint64 payload bytes
+//	crc32c  uint32 Castagnoli checksum of the payload
+//	payload
+//
+// All fields little-endian. The frame makes torn and bit-rotted objects
+// detectable: Get fails with ErrCorrupt instead of handing back garbage.
+
+var frameMagic = [5]byte{'G', 'C', 'T', 'O', 1}
+
+const frameHeaderLen = len(frameMagic) + 8 + 4
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeFrame wraps payload in the object frame.
+func encodeFrame(payload []byte) []byte {
+	out := make([]byte, frameHeaderLen+len(payload))
+	copy(out, frameMagic[:])
+	binary.LittleEndian.PutUint64(out[5:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(out[13:], crc32.Checksum(payload, castagnoli))
+	copy(out[frameHeaderLen:], payload)
+	return out
+}
+
+// decodeFrame verifies the object frame and returns the payload. Every
+// malformation — short header, bad magic, length mismatch, checksum
+// mismatch — wraps ErrCorrupt; decodeFrame never panics on hostile input.
+func decodeFrame(data []byte) ([]byte, error) {
+	if len(data) < frameHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes, frame header needs %d", ErrCorrupt, len(data), frameHeaderLen)
+	}
+	if [5]byte(data[:5]) != frameMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:5])
+	}
+	length := binary.LittleEndian.Uint64(data[5:])
+	if length != uint64(len(data)-frameHeaderLen) {
+		return nil, fmt.Errorf("%w: frame declares %d payload bytes, has %d", ErrCorrupt, length, len(data)-frameHeaderLen)
+	}
+	payload := data[frameHeaderLen:]
+	if want := binary.LittleEndian.Uint32(data[13:]); crc32.Checksum(payload, castagnoli) != want {
+		return nil, fmt.Errorf("%w: crc32c mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// atomicWriteFile durably commits data to path: write to a temp file in
+// the same directory, fsync it, rename over the destination, fsync the
+// directory. A crash at any point leaves either the old object or the new
+// one, never a torn mix.
+func atomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

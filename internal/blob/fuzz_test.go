@@ -1,0 +1,48 @@
+package blob
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzSnapshotLoad drives the durable-snapshot decoder with arbitrary
+// bytes: whatever a crashed or bit-rotted disk hands recovery, decoding
+// must either produce a validated snapshot or fail cleanly with
+// ErrCorrupt-class errors — never panic, never return a graph that fails
+// its own invariants. Both layers are exercised: the CRC object frame
+// (DecodeFramedSnapshot, the fs-store read path) and the bare snapshot
+// envelope (DecodeSnapshot, what sits under the frame).
+func FuzzSnapshotLoad(f *testing.F) {
+	framed, err := EncodeSnapshot(Snapshot{Epoch: 3, LastTime: 99, Graph: ringGraph(6)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(encodeFrame(framed))            // intact object
+	f.Add(framed)                         // envelope without the frame
+	f.Add(encodeFrame(framed)[:11])       // torn mid-header
+	f.Add(encodeFrame(framed)[:30])       // torn mid-payload
+	f.Add([]byte{})                       // empty file
+	f.Add([]byte("GCTO"))                 // magic fragment
+	f.Add(bytes.Repeat([]byte{0xff}, 64)) // noise
+	corrupted := append([]byte(nil), encodeFrame(framed)...)
+	corrupted[len(corrupted)-3] ^= 0x40
+	f.Add(corrupted) // CRC mismatch
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if s, err := DecodeFramedSnapshot(data); err == nil {
+			if s.Graph == nil {
+				t.Fatalf("framed decode succeeded with nil graph")
+			}
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("framed decode failed without ErrCorrupt: %v", err)
+		}
+		if s, err := DecodeSnapshot(data); err == nil {
+			if s.Graph == nil {
+				t.Fatalf("decode succeeded with nil graph")
+			}
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("decode failed without ErrCorrupt: %v", err)
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package blob
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"graphct/internal/dimacs"
+	"graphct/internal/graph"
+)
+
+// Durable snapshot format — one epoch of a live graph, the unit the blob
+// store persists and warm restarts recover from:
+//
+//	magic    "GCTS"
+//	version  0x01
+//	epoch    uint64 the daemon epoch that published it (0 from the CLI)
+//	lastTime int64  timestamp of the newest update the snapshot includes
+//	payload  the existing binary CSR format (dimacs.WriteBinary, "GCTB")
+//
+// All fields little-endian. On disk a snapshot is wrapped in the object
+// frame (frame.go), so files written by WriteSnapshotFile are
+// byte-identical to objects the filesystem store commits — graphct's
+// "read snapshot" works directly on the daemon's data directory.
+
+var snapMagic = [5]byte{'G', 'C', 'T', 'S', 1}
+
+const snapHeaderLen = len(snapMagic) + 8 + 8
+
+// Snapshot is one decoded durable epoch.
+type Snapshot struct {
+	Epoch    uint64
+	LastTime int64
+	Graph    *graph.Graph
+}
+
+// EncodeSnapshot serializes s into the (unframed) snapshot envelope;
+// stores add the object frame on Put.
+func EncodeSnapshot(s Snapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(snapMagic[:])
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], s.Epoch)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(s.LastTime))
+	buf.Write(hdr[:])
+	if err := dimacs.WriteBinary(&buf, s.Graph); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot parses an unframed snapshot envelope, validating the CSR
+// invariants of the embedded graph. Malformed input — wrong magic,
+// truncation anywhere, CSR violations — returns an error wrapping
+// ErrCorrupt; DecodeSnapshot never panics on hostile bytes.
+func DecodeSnapshot(data []byte) (Snapshot, error) {
+	if len(data) < snapHeaderLen {
+		return Snapshot{}, fmt.Errorf("%w: %d bytes, snapshot header needs %d", ErrCorrupt, len(data), snapHeaderLen)
+	}
+	if [5]byte(data[:5]) != snapMagic {
+		return Snapshot{}, fmt.Errorf("%w: bad snapshot magic %q", ErrCorrupt, data[:5])
+	}
+	s := Snapshot{
+		Epoch:    binary.LittleEndian.Uint64(data[5:]),
+		LastTime: int64(binary.LittleEndian.Uint64(data[13:])),
+	}
+	g, err := dimacs.ReadBinary(bytes.NewReader(data[snapHeaderLen:]))
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	s.Graph = g
+	return s, nil
+}
+
+// DecodeFramedSnapshot decodes a snapshot wrapped in the object frame —
+// the byte form stored by the filesystem store and WriteSnapshotFile.
+func DecodeFramedSnapshot(data []byte) (Snapshot, error) {
+	payload, err := decodeFrame(data)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	return DecodeSnapshot(payload)
+}
+
+// WriteSnapshotFile durably writes s to path in the framed snapshot
+// format (atomic rename + fsync, like a store Put).
+func WriteSnapshotFile(path string, s Snapshot) error {
+	payload, err := EncodeSnapshot(s)
+	if err != nil {
+		return err
+	}
+	return atomicWriteFile(path, encodeFrame(payload))
+}
+
+// ReadSnapshotFile reads a framed snapshot from path.
+func ReadSnapshotFile(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	s, err := DecodeFramedSnapshot(data)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

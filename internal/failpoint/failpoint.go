@@ -50,6 +50,14 @@ const (
 	// SnapshotPublish fires before a live graph materializes an epoch
 	// snapshot; a failure defers publication to a later batch.
 	SnapshotPublish = "snapshot.publish"
+	// BlobPut fires before the filesystem blob store commits an object;
+	// a failure leaves the store unchanged (durable snapshot writes are
+	// retried at the next publication).
+	BlobPut = "blob.put"
+	// WALAppend fires before a batch is appended to the write-ahead log;
+	// a failure skips the append and forces the next snapshot publication
+	// to rotate the log, bounding the unlogged window.
+	WALAppend = "wal.append"
 )
 
 // ErrInjected is the sentinel every injected error wraps, letting callers

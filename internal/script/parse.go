@@ -64,10 +64,10 @@ func ParseLine(line string) (Command, error) {
 var staticChecks = map[string]func(args []string) error{
 	"read": func(args []string) error {
 		if len(args) != 2 {
-			return parseErrf("usage: read dimacs|binary FILE")
+			return parseErrf("usage: read dimacs|binary|snapshot FILE")
 		}
 		switch strings.ToLower(args[0]) {
-		case "dimacs", "edgelist", "binary":
+		case "dimacs", "edgelist", "binary", "snapshot":
 			return nil
 		}
 		return parseErrf("unknown graph format %q", strings.ToLower(args[0]))
@@ -91,10 +91,13 @@ var staticChecks = map[string]func(args []string) error{
 		return parseErrf("unknown print target %q", args[0])
 	},
 	"save": func(args []string) error {
-		if len(args) != 1 || strings.ToLower(args[0]) != "graph" {
-			return parseErrf("usage: save graph")
+		switch {
+		case len(args) == 1 && strings.ToLower(args[0]) == "graph":
+			return nil
+		case len(args) == 2 && strings.ToLower(args[0]) == "snapshot":
+			return nil
 		}
-		return nil
+		return parseErrf("usage: save graph | save snapshot FILE")
 	},
 	"restore": func(args []string) error {
 		if len(args) != 1 || strings.ToLower(args[0]) != "graph" {

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"graphct/internal/bc"
+	"graphct/internal/blob"
 	"graphct/internal/core"
 	"graphct/internal/dimacs"
 	"graphct/internal/rank"
@@ -297,7 +298,7 @@ func (in *Interp) path(p string) string {
 
 func (in *Interp) cmdRead(args []string) error {
 	if len(args) != 2 {
-		return parseErrf("usage: read dimacs|binary FILE")
+		return parseErrf("usage: read dimacs|binary|snapshot FILE")
 	}
 	kind, file := strings.ToLower(args[0]), in.path(args[1])
 	var err error
@@ -308,6 +309,11 @@ func (in *Interp) cmdRead(args []string) error {
 		in.tk, err = core.LoadEdgeList(file, false, core.WithSeed(in.seed))
 	case "binary":
 		in.tk, err = core.LoadBinary(file, core.WithSeed(in.seed))
+	case "snapshot":
+		var snap blob.Snapshot
+		if snap, err = blob.ReadSnapshotFile(file); err == nil {
+			in.tk = core.New(snap.Graph, core.WithSeed(in.seed))
+		}
 	default:
 		return parseErrf("unknown graph format %q", kind)
 	}
@@ -354,12 +360,26 @@ func (in *Interp) cmdPrint(args []string, redirect string) error {
 	return nil
 }
 
+// cmdSave handles both memories: "save graph" pushes onto the in-memory
+// stack, "save snapshot FILE" writes the current graph in graphctd's
+// durable snapshot format (the same bytes the daemon persists), so a
+// script can hand a graph to — or pick one up from — a daemon data dir.
 func (in *Interp) cmdSave(args []string) error {
-	if len(args) != 1 || strings.ToLower(args[0]) != "graph" {
-		return parseErrf("usage: save graph")
+	switch {
+	case len(args) == 1 && strings.ToLower(args[0]) == "graph":
+		in.tk.Save()
+		return nil
+	case len(args) == 2 && strings.ToLower(args[0]) == "snapshot":
+		file := in.path(args[1])
+		g := in.tk.Graph()
+		if err := blob.WriteSnapshotFile(file, blob.Snapshot{Graph: g}); err != nil {
+			return err
+		}
+		fmt.Fprintf(in.out, "saved snapshot %s: %d vertices, %d edges\n",
+			filepath.Base(file), g.NumVertices(), g.NumEdges())
+		return nil
 	}
-	in.tk.Save()
-	return nil
+	return parseErrf("usage: save graph | save snapshot FILE")
 }
 
 func (in *Interp) cmdRestore(args []string) error {

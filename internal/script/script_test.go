@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"graphct/internal/blob"
 	"graphct/internal/dimacs"
 	"graphct/internal/gen"
 )
@@ -212,6 +213,58 @@ func TestBadArguments(t *testing.T) {
 	for _, src := range badAfter {
 		if _, err := run(t, dir, "read dimacs test.dimacs\n"+src+"\n"); err == nil {
 			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+// TestSnapshotRoundTrip saves the loaded graph in the daemon's durable
+// snapshot format and reads it back: same shape, same kernels, and the
+// on-disk file opens through the blob package (the compat contract with
+// graphctd data directories).
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	writeTestGraph(t, dir)
+	src := `read dimacs test.dimacs
+save snapshot test.snap
+read snapshot test.snap
+print degrees
+print components
+`
+	out, err := run(t, dir, src)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out)
+	}
+	for _, want := range []string{
+		"saved snapshot test.snap: 7 vertices, 8 edges",
+		"read test.snap: 7 vertices, 8 edges",
+		"degrees: n 7",
+		"components: 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	snap, err := blob.ReadSnapshotFile(filepath.Join(dir, "test.snap"))
+	if err != nil {
+		t.Fatalf("snapshot not readable through blob: %v", err)
+	}
+	if snap.Graph.NumVertices() != 7 || snap.Graph.NumEdges() != 8 {
+		t.Fatalf("blob snapshot = %d vertices / %d edges", snap.Graph.NumVertices(), snap.Graph.NumEdges())
+	}
+	// Error paths: truncated snapshot and bad arity.
+	if err := os.WriteFile(filepath.Join(dir, "torn.snap"), []byte("GCTO"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"read snapshot torn.snap",
+		"read snapshot missing.snap",
+		"read dimacs test.dimacs\nsave snapshot",
+		// Snapshot writes create missing directories, so force the failure
+		// with a parent that is a regular file.
+		"read dimacs test.dimacs\nsave snapshot test.dimacs/x.snap",
+	} {
+		if _, err := run(t, dir, bad+"\n"); err == nil {
+			t.Errorf("no error for %q", bad)
 		}
 	}
 }

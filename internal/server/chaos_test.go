@@ -32,12 +32,12 @@ func TestChaos(t *testing.T) {
 		"kernel.exec=panic(chaos)%10"+
 			";stream.apply=error(chaos)%10"+
 			";cache.put=error%10"+
-			";snapshot.publish=error%10")
+			";snapshot.publish=error%10"+
+			";blob.put=error(chaos)%10"+
+			";wal.append=error(chaos)%10")
 
+	dataDir := t.TempDir()
 	reg := NewRegistry()
-	if _, err := reg.AddLive("live", 256); err != nil {
-		t.Fatal(err)
-	}
 	reg.Add("g", gen.PreferentialAttachment(300, 3, 1))
 	s := New(reg, Config{
 		MaxConcurrent:    2,
@@ -47,7 +47,11 @@ func TestChaos(t *testing.T) {
 		SnapshotEvery:    64,
 		BreakerThreshold: 5,
 		BreakerCooldown:  50 * time.Millisecond,
+		DataDir:          dataDir, // durability under fire too
 	})
+	if _, err := s.AddLive("live", 256); err != nil {
+		t.Fatal(err)
+	}
 	ts := newHTTPServer(t, s)
 
 	stop := time.Now().Add(duration)
@@ -214,6 +218,17 @@ func TestChaos(t *testing.T) {
 	var m map[string]any
 	if err := json.Unmarshal(body, &m); err != nil {
 		t.Fatalf("metrics did not parse: %v", err)
+	}
+
+	// Whatever the chaos did to the store and the log, the on-disk state
+	// must still be recoverable: a fresh server over the same data dir
+	// rebuilds the live graph and serves it.
+	s2 := New(NewRegistry(), Config{DataDir: dataDir})
+	if n, err := s2.RecoverAll(); err != nil || n != 1 {
+		t.Fatalf("recovery after chaos = %d, %v; want 1, nil", n, err)
+	}
+	if e, ok := s2.reg.Get("live"); !ok || e.Live == nil {
+		t.Fatal("live graph not recovered after chaos")
 	}
 	t.Logf("chaos: %d requests (%d non-200), %d faults injected, %d kernel panics, %d breaker trips, %d stale serves",
 		requests, failures, injected,

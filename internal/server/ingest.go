@@ -11,6 +11,7 @@ import (
 
 	"graphct/internal/failpoint"
 	"graphct/internal/stream"
+	"graphct/internal/wal"
 )
 
 // Live is the mutable half of a live (ingest-enabled) graph. Successive
@@ -34,6 +35,15 @@ type Live struct {
 	dedup     map[string]ingestResult
 	dedupRing []string
 	dedupNext int
+
+	// Durability state, guarded by mu like the stream. wal is the open
+	// log segment (nil when the server has no data directory);
+	// durableEpoch is the snapshot epoch that segment extends; walFailed
+	// records a failed append and forces the next opportunity to publish
+	// a snapshot, bounding the window of acked-but-unlogged batches.
+	wal          *wal.Log
+	durableEpoch uint64
+	walFailed    bool
 }
 
 // dedupWindow bounds how many batch IDs a live graph remembers.
@@ -209,7 +219,19 @@ func (s *Server) applyIngest(name string, live *Live, batchID string, batch []st
 		Edges:    live.st.NumEdges(),
 		Epoch:    epoch,
 	}
-	if live.st.SnapshotDue(s.cfg.SnapshotEvery) {
+	// Log the applied batch before acking. An append failure does not fail
+	// the request (the batch is applied and the response truthful); it
+	// flips walFailed so the next publication re-establishes durability by
+	// committing a snapshot that contains this batch.
+	if live.wal != nil {
+		if werr := live.wal.Append(batchID, batch); werr != nil {
+			s.metrics.WALErrors.Add(1)
+			live.walFailed = true
+		} else {
+			s.metrics.WALAppends.Add(1)
+		}
+	}
+	if live.st.SnapshotDue(s.cfg.SnapshotEvery) || live.walFailed {
 		if epoch, ok := s.publishSnapshot(name, live); ok {
 			out.Epoch = epoch
 			out.Snapshotted = true
@@ -263,7 +285,7 @@ func (s *Server) forceSnapshot(name string, live *Live, epoch uint64) (out inges
 		}
 	}()
 	out = ingestResult{Edges: live.st.NumEdges(), Epoch: epoch}
-	if live.st.PendingUpdates() > 0 {
+	if live.st.PendingUpdates() > 0 || live.walFailed {
 		ne, ok := s.publishSnapshot(name, live)
 		if !ok {
 			return ingestResult{}, fmt.Errorf("snapshot publication deferred: %w", failpoint.ErrInjected)
@@ -280,6 +302,11 @@ func (s *Server) forceSnapshot(name string, live *Live, epoch uint64) (out inges
 // batch application order. The snapshot.publish failpoint defers the
 // publication (ok=false): pending updates stay pending and a later batch
 // or forced flush retries.
+//
+// When the graph is durable, the same critical section commits the new
+// epoch to the blob store and rotates the write-ahead log onto it
+// (persistEpoch), so the durable state never runs ahead of or behind the
+// published order.
 func (s *Server) publishSnapshot(name string, live *Live) (uint64, bool) {
 	if err := failpoint.Eval(failpoint.SnapshotPublish); err != nil {
 		s.metrics.SnapshotsDeferred.Add(1)
@@ -290,6 +317,9 @@ func (s *Server) publishSnapshot(name string, live *Live) (uint64, bool) {
 	ne := s.reg.addEntry(name, g, live)
 	s.metrics.Snapshots.Add(1)
 	s.metrics.ObserveLatency("snapshot", time.Since(start))
+	if live.wal != nil {
+		s.persistEpoch(name, live, ne.Epoch)
+	}
 	return ne.Epoch, true
 }
 

@@ -92,6 +92,16 @@ type Metrics struct {
 	Snapshots         atomic.Int64 // epoch snapshots published
 	SnapshotsDeferred atomic.Int64 // publications skipped (snapshot.publish failpoint)
 
+	WALAppends         atomic.Int64 // batches durably logged
+	WALErrors          atomic.Int64 // failed log appends (batch applied, durability deferred)
+	WALTornTails       atomic.Int64 // recoveries that stopped at a damaged log tail
+	SnapshotsPersisted atomic.Int64 // epoch snapshots committed to the blob store
+	SnapshotBytes      atomic.Int64 // total bytes of persisted snapshots
+	PersistErrors      atomic.Int64 // failed snapshot commits / log rotations
+	RecoveredGraphs    atomic.Int64 // live graphs rebuilt at boot
+	RecoveredBatches   atomic.Int64 // logged batches replayed at boot
+	RecoveryMs         atomic.Int64 // wall time of the last RecoverAll
+
 	mu         sync.Mutex
 	kernelRuns map[string]*atomic.Int64
 	latency    map[string]*Histogram
@@ -169,6 +179,16 @@ type MetricsSnapshot struct {
 	IngestQueueDepth  int64 `json:"ingest_queue_depth"`
 	IngestRunning     int   `json:"ingest_running"`
 
+	WALAppends         int64 `json:"wal_appends"`
+	WALErrors          int64 `json:"wal_errors"`
+	WALTornTails       int64 `json:"wal_torn_tails"`
+	SnapshotsPersisted int64 `json:"snapshots_persisted"`
+	SnapshotBytes      int64 `json:"snapshot_bytes"`
+	PersistErrors      int64 `json:"persist_errors"`
+	RecoveredGraphs    int64 `json:"recovered_graphs"`
+	RecoveredBatches   int64 `json:"recovered_batches"`
+	RecoveryMs         int64 `json:"recovery_ms"`
+
 	KernelRuns map[string]int64             `json:"kernel_runs,omitempty"`
 	LatencyMs  map[string]HistogramSnapshot `json:"latency_ms,omitempty"`
 }
@@ -195,6 +215,17 @@ func (m *Metrics) Snapshot(pool, ingest *Pool, cache *Cache, breakers *BreakerSe
 		IngestPanics:      m.IngestPanics.Load(),
 		Snapshots:         m.Snapshots.Load(),
 		SnapshotsDeferred: m.SnapshotsDeferred.Load(),
+
+		WALAppends:         m.WALAppends.Load(),
+		WALErrors:          m.WALErrors.Load(),
+		WALTornTails:       m.WALTornTails.Load(),
+		SnapshotsPersisted: m.SnapshotsPersisted.Load(),
+		SnapshotBytes:      m.SnapshotBytes.Load(),
+		PersistErrors:      m.PersistErrors.Load(),
+		RecoveredGraphs:    m.RecoveredGraphs.Load(),
+		RecoveredBatches:   m.RecoveredBatches.Load(),
+		RecoveryMs:         m.RecoveryMs.Load(),
+
 		KernelRuns:        make(map[string]int64),
 		LatencyMs:         make(map[string]HistogramSnapshot),
 	}

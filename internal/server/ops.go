@@ -13,6 +13,10 @@ import (
 // a busy daemon is alive — while readiness sheds new traffic.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
+	case !s.ready.Load() && s.recovering.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "recovering", "reason": "replaying durable state",
+		})
 	case !s.ready.Load():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"status": "starting", "reason": "graph preload in progress",

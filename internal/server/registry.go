@@ -15,6 +15,20 @@ import (
 // every cached result for the old graph without touching the cache.
 var epochCounter atomic.Uint64
 
+// advanceEpochCounter raises the counter to at least min. Recovery calls
+// it with the highest epoch found in the durable store before publishing
+// anything, so post-restart epochs stay strictly above every persisted
+// one — point-in-time keys and "latest snapshot" ordering never collide
+// across restarts.
+func advanceEpochCounter(min uint64) {
+	for {
+		cur := epochCounter.Load()
+		if cur >= min || epochCounter.CompareAndSwap(cur, min) {
+			return
+		}
+	}
+}
+
 // GraphEntry is one named graph in the registry. Entries are immutable
 // once published: a reload under the same name installs a new entry with
 // a fresh epoch. For live (ingest-enabled) graphs, Graph is the epoch's

@@ -29,11 +29,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"path/filepath"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"graphct/internal/bc"
+	"graphct/internal/blob"
 	"graphct/internal/core"
 	"graphct/internal/failpoint"
 	"graphct/internal/sssp"
@@ -79,6 +82,16 @@ type Config struct {
 	// Debug exposes the failpoint control endpoint (/debug/failpoints).
 	// Off by default: fault injection is an operator tool, not an API.
 	Debug bool
+	// DataDir enables durability: live graphs persist epoch snapshots to
+	// a blob store under it and log every applied batch to a write-ahead
+	// log between snapshots, so a restarted daemon recovers them (see
+	// RecoverAll). Empty keeps the pre-durability in-memory behavior.
+	DataDir string
+	// RetainEpochs bounds how many durable snapshot epochs each live
+	// graph keeps (default 3, minimum 1). Retained epochs serve
+	// ?epoch=E point-in-time reads and give recovery fallbacks when the
+	// newest snapshot is damaged.
+	RetainEpochs int
 }
 
 // Server serves graph-analysis requests over a Registry.
@@ -97,6 +110,18 @@ type Server struct {
 	// balancers hold traffic while multi-GiB graphs parse. Servers start
 	// ready; cmd/graphctd opts into the not-ready window.
 	ready atomic.Bool
+	// recovering marks the boot-time replay window: /readyz reports
+	// "recovering" (still 503) while RecoverAll rebuilds live graphs.
+	recovering atomic.Bool
+
+	// Durability state; store is nil without Config.DataDir.
+	store  *blob.FS
+	walDir string
+	retain int
+
+	// hist caches point-in-time entries loaded for ?epoch=E reads.
+	histMu sync.Mutex
+	hist   map[string]*GraphEntry
 
 	// beforeKernel, when non-nil, runs inside the pool slot right before
 	// a kernel executes — a test seam for holding executions in flight.
@@ -123,6 +148,12 @@ func New(reg *Registry, cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 1 << 20
 	}
+	if cfg.RetainEpochs == 0 {
+		cfg.RetainEpochs = 3
+	}
+	if cfg.RetainEpochs < 1 {
+		cfg.RetainEpochs = 1
+	}
 	s := &Server{
 		reg:      reg,
 		cache:    NewCache(cfg.CacheBytes),
@@ -132,6 +163,12 @@ func New(reg *Registry, cfg Config) *Server {
 		metrics:  NewMetrics(),
 		breakers: NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		cfg:      cfg,
+		retain:   cfg.RetainEpochs,
+		hist:     make(map[string]*GraphEntry),
+	}
+	if cfg.DataDir != "" {
+		s.store = blob.NewFS(filepath.Join(cfg.DataDir, "blobs"))
+		s.walDir = filepath.Join(cfg.DataDir, "wal")
 	}
 	s.ready.Store(true)
 	mux := http.NewServeMux()
@@ -146,6 +183,7 @@ func New(reg *Registry, cfg Config) *Server {
 	mux.HandleFunc("POST /graphs/{name}/extract", s.handleExtract)
 	mux.HandleFunc("POST /graphs/{name}/ingest", s.handleIngest)
 	mux.HandleFunc("POST /graphs/{name}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /graphs/{name}/epochs", s.handleEpochs)
 	mux.HandleFunc("GET /graphs/{name}/{kernel}", s.handleKernel)
 	s.mux = mux
 	return s
@@ -158,6 +196,10 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // that preloads graphs in the background sets false before listening and
 // true once every preload has parsed.
 func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// SetRecovering marks the boot-time replay window so /readyz can report
+// "recovering" (still not ready) while durable graphs rebuild.
+func (s *Server) SetRecovering(recovering bool) { s.recovering.Store(recovering) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -233,7 +275,7 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "name is required")
 			return
 		}
-		e, err := s.reg.AddLive(req.Name, req.Vertices)
+		e, err := s.AddLive(req.Name, req.Vertices)
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, "create live %q: %v", req.Name, err)
 			return
@@ -255,9 +297,15 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !s.reg.Remove(name) {
+	e, ok := s.reg.Get(name)
+	if !ok || !s.reg.Remove(name) {
 		writeError(w, http.StatusNotFound, "no graph %q", name)
 		return
+	}
+	// Deleting a durable live graph also deletes its snapshots and log:
+	// the name is gone, not just the memory.
+	if s.durable() && e.Live != nil {
+		s.dropDurable(name, e.Live)
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
@@ -478,14 +526,17 @@ func (s *Server) runKernel(ctx context.Context, run kernelRun) (res any, err err
 // cacheResult inserts a computed kernel result under its epoch-scoped key
 // and refreshes the epochless stale entry behind ?stale=allow. The
 // cache.put failpoint drops both insertions — degrading hit rate, never
-// the response.
+// the response. An empty staleKey skips the stale refresh: historical
+// (?epoch=E) reads must not masquerade as the latest result.
 func (s *Server) cacheResult(key, staleKey string, epoch uint64, body []byte) {
 	if err := failpoint.Eval(failpoint.CachePut); err != nil {
 		s.metrics.CacheDropped.Add(1)
 		return
 	}
 	s.cache.Put(key, body)
-	s.cache.Put(staleKey, encodeStale(epoch, body))
+	if staleKey != "" {
+		s.cache.Put(staleKey, encodeStale(epoch, body))
+	}
 }
 
 // handleKernel is the concurrent serving path: cache lookup, circuit
@@ -498,6 +549,23 @@ func (s *Server) handleKernel(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		writeError(w, http.StatusNotFound, "no graph %q", name)
 		return
+	}
+	// ?epoch=E pins the request to a durable point-in-time snapshot
+	// instead of the current entry (which stays the default).
+	historical := false
+	if v := r.URL.Query().Get("epoch"); v != "" {
+		epoch, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad epoch %q", v)
+			return
+		}
+		he, err := s.epochEntry(name, epoch, e)
+		if err != nil {
+			writeError(w, http.StatusNotFound, "epoch %d of %q: %v", epoch, name, err)
+			return
+		}
+		historical = he != e
+		e = he
 	}
 	params, run, err := s.parseKernel(kernel, e, r.URL.Query())
 	if err != nil {
@@ -536,6 +604,9 @@ func (s *Server) handleKernel(w http.ResponseWriter, r *http.Request) {
 	epochHeader(w, e.Epoch)
 	key := fmt.Sprintf("%s@%d/%s?%s", e.Name, e.Epoch, kernel, params)
 	staleKey := staleCacheKey(e.Name, kernel, params)
+	if historical {
+		staleKey = "" // point-in-time results never refresh the stale entry
+	}
 	if body, ok := s.cache.Get(key); ok {
 		s.metrics.CacheHits.Add(1)
 		s.writeRaw(w, body, "cache")

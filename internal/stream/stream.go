@@ -130,6 +130,12 @@ func (s *Stream) HasEdge(u, v int32) bool {
 // LastTime returns the timestamp of the most recent accepted update.
 func (s *Stream) LastTime() int64 { return s.lastTime }
 
+// Touch advances the stream's last-update timestamp without mutating the
+// graph. Warm restarts use it to restore the clock recorded in a durable
+// snapshot before replaying the log tail (whose updates carry their own
+// timestamps and only ever move the clock forward).
+func (s *Stream) Touch(t int64) { s.touch(t) }
+
 // Insert adds the undirected edge {u,v}. Duplicate edges and self loops
 // are ignored (the mention-graph dedup rule). It returns true when the
 // edge was new. Triangle counts of u, v and each common neighbor are
