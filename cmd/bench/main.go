@@ -1,20 +1,38 @@
 // Command bench is the repo's reproducible perf-trajectory harness: it
-// runs the betweenness-centrality kernel configurations with fixed seeds
-// through testing.Benchmark and writes a machine-readable report
-// (BENCH_PR2.json by default) recording kernel, ns/op, edges/sec and
-// GOMAXPROCS. Re-running it on the same hardware reproduces the numbers a
-// PR quotes; future PRs append their own BENCH_PRn.json and compare.
+// runs the betweenness-centrality kernel through testing.Benchmark under
+// fixed seeds and writes a machine-readable report (BENCH_PR7.json by
+// default) recording kernel, ns/op, edges/sec, adjacency bytes and
+// GOMAXPROCS. Re-running it on the same hardware reproduces the numbers
+// a PR quotes; each perf PR appends its own BENCH_PRn.json and compares.
 //
-// The configuration matrix crosses the two tentpole knobs so the report
-// doubles as an ablation: accumulation (striped vs the pre-PR atomic-CAS
-// idiom) × forward sweep (direction-optimizing vs the pre-PR top-down
-// reference). "atomic+topdown" is the PR-2 baseline configuration;
-// "striped+hybrid" is the shipped default (AccumAuto resolves to striped
-// whenever the stripes fit the memory budget).
+// The configuration matrix is the memory-layout ablation: each row adds
+// one layout optimization on top of the previous, so the report isolates
+// what every step buys:
 //
-// edges/sec counts NumArcs() once per source per iteration — the same
-// convention as BenchmarkCentrality in bench_test.go, so the two report
-// comparable throughput.
+//	baseline                 generator vertex order, raw CSR, heap scratch
+//	reorder                  relabeled for locality (-reorder), raw CSR
+//	reorder+compact          + delta-varint compressed adjacency (forced)
+//	reorder+compact+arena    + arena-backed Brandes scratch
+//	reorder+arena (default)  what -reorder degree -compact auto serves:
+//	                         the auto policy only compacts when the raw
+//	                         adjacency exceeds the memory budget, so at
+//	                         bench scales the default stack is relabeled
+//	                         raw CSR with arena scratch
+//
+// The forced-compact rows quantify the capacity trade (adjacency bytes
+// roughly halve; throughput pays the per-edge varint decode), and the
+// aggregate speedup the report headlines is the shipped default against
+// the baseline. All rows run the PR-4 kernel defaults (striped
+// accumulation, hybrid direction-optimizing sweeps); the ablation varies
+// memory layout only. edges/sec counts NumArcs() once per source per
+// iteration — the same convention as BenchmarkCentrality in
+// bench_test.go, so the two report comparable throughput.
+//
+// -guard FILE runs only the full configuration and exits nonzero when
+// its BC throughput falls below 80% of the committed report's, which is
+// the CI bench-smoke job (scaled guard: CI benches a smaller scale than
+// the committed scale-16 report, and smaller working sets only run
+// faster, so the one-sided 0.8× bound stays meaningful).
 package main
 
 import (
@@ -23,30 +41,42 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strings"
 	"testing"
 
 	"graphct/internal/bc"
 	"graphct/internal/gen"
+	"graphct/internal/graph"
 )
 
 type result struct {
-	Kernel      string  `json:"kernel"`
-	NsPerOp     int64   `json:"ns_per_op"`
-	EdgesPerSec float64 `json:"edges_per_sec"`
-	Iterations  int     `json:"iterations"`
+	Kernel          string  `json:"kernel"`
+	Layout          string  `json:"layout"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	EdgesPerSec     float64 `json:"edges_per_sec"`
+	Iterations      int     `json:"iterations"`
+	AdjBytes        int64   `json:"adj_bytes"`
+	MemoryFootprint int64   `json:"memory_footprint"`
 }
 
 type report struct {
-	Generator  string   `json:"generator"`
-	GoMaxProcs int      `json:"gomaxprocs"`
-	NumCPU     int      `json:"num_cpu"`
-	GoVersion  string   `json:"go_version"`
-	RMATScale  int      `json:"rmat_scale"`
-	Vertices   int      `json:"vertices"`
-	Arcs       int64    `json:"arcs"`
-	Samples    int      `json:"samples"`
-	Seed       int64    `json:"seed"`
-	Results    []result `json:"results"`
+	Generator        string   `json:"generator"`
+	GoMaxProcs       int      `json:"gomaxprocs"`
+	NumCPU           int      `json:"num_cpu"`
+	GoVersion        string   `json:"go_version"`
+	RMATScale        int      `json:"rmat_scale"`
+	Vertices         int      `json:"vertices"`
+	Arcs             int64    `json:"arcs"`
+	Samples          int      `json:"samples"`
+	Seed             int64    `json:"seed"`
+	Reps             int      `json:"reps"`
+	Reorder          string   `json:"reorder"`
+	RawAdjBytes      int64    `json:"raw_adj_bytes"`
+	CompactAdjBytes  int64    `json:"compact_adj_bytes"`
+	CompressionRatio float64  `json:"compression_ratio"`
+	AggregateSpeedup float64  `json:"aggregate_speedup"`
+	Results          []result `json:"results"`
 }
 
 func main() {
@@ -55,57 +85,138 @@ func main() {
 		samples = flag.Int("samples", 32, "sampled betweenness sources per run")
 		seed    = flag.Int64("seed", 1, "generator and sampling seed")
 		procs   = flag.Int("procs", 4, "GOMAXPROCS for the runs (acceptance floor is 4)")
-		k       = flag.Int("k", 1, "k for the k-betweenness entry (0 skips it)")
-		out     = flag.String("out", "BENCH_PR2.json", "output path; - for stdout")
+		k       = flag.Int("k", 1, "k for the k-betweenness rows (0 skips them)")
+		reorder = flag.String("reorder", "degree", "permutation for the reordered rows: degree or bfs")
+		guard   = flag.String("guard", "", "CI mode: run only the full configuration and fail if BC edges/s drops below 80% of this committed report")
+		out     = flag.String("out", "BENCH_PR7.json", "output path; - for stdout")
+		only    = flag.String("only", "", "run a single ablation layout (for profiling); skips the JSON report")
+		reps    = flag.Int("reps", 3, "benchmark repetitions per row; the fastest is reported (noise floor)")
+		profile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
 	)
 	flag.Parse()
+	// NumCPU is recorded before the GOMAXPROCS override so the report
+	// states the machine's real core count next to the (possibly
+	// oversubscribed) worker count the numbers were taken at.
+	numCPU := runtime.NumCPU()
 	runtime.GOMAXPROCS(*procs)
+	if *reps > 0 {
+		benchReps = *reps
+	}
+
+	kind, err := graph.ParseReorder(*reorder)
+	if err != nil || kind == graph.ReorderNone {
+		fmt.Fprintf(os.Stderr, "bench: -reorder must be degree or bfs\n")
+		os.Exit(2)
+	}
 
 	fmt.Fprintf(os.Stderr, "generating R-MAT scale %d (seed %d)...\n", *scale, *seed)
-	g := gen.RMAT(gen.PaperRMAT(*scale, *seed))
-	arcs := g.NumArcs()
+	raw := gen.RMAT(gen.PaperRMAT(*scale, *seed))
+	arcs := raw.NumArcs()
+
+	reordered, _, err := graph.Layout{Reorder: kind, Compact: graph.CompactOff}.Apply(raw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	compact := reordered.Compact()
+
 	rep := report{
-		Generator:  fmt.Sprintf("cmd/bench -scale %d -samples %d -seed %d", *scale, *samples, *seed),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		GoVersion:  runtime.Version(),
-		RMATScale:  *scale,
-		Vertices:   g.NumVertices(),
-		Arcs:       arcs,
-		Samples:    *samples,
-		Seed:       *seed,
+		Generator:        fmt.Sprintf("cmd/bench -scale %d -samples %d -seed %d -reorder %s", *scale, *samples, *seed, kind),
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		NumCPU:           numCPU,
+		GoVersion:        runtime.Version(),
+		RMATScale:        *scale,
+		Vertices:         raw.NumVertices(),
+		Arcs:             arcs,
+		Samples:          *samples,
+		Seed:             *seed,
+		Reps:             benchReps,
+		Reorder:          kind.String(),
+		RawAdjBytes:      raw.AdjBytes(),
+		CompactAdjBytes:  compact.AdjBytes(),
+		CompressionRatio: float64(raw.AdjBytes()) / float64(compact.AdjBytes()),
 	}
 
-	bcConfigs := []struct {
-		name string
-		opt  bc.Options
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	steps := []struct {
+		layout  string
+		g       *graph.Graph
+		scratch bc.Scratch
 	}{
-		// The pre-PR idiom: shared score array behind an atomic float64
-		// CAS loop, push-only top-down forward sweeps.
-		{"centrality/atomic+topdown (PR-2 baseline)",
-			bc.Options{Accumulation: bc.AccumAtomic, Sweep: bc.SweepTopDown}},
-		// One tentpole knob at a time.
-		{"centrality/striped+topdown",
-			bc.Options{Accumulation: bc.AccumStriped, Sweep: bc.SweepTopDown}},
-		{"centrality/atomic+hybrid",
-			bc.Options{Accumulation: bc.AccumAtomic, Sweep: bc.SweepAuto}},
-		// The shipped default (what Options' zero values resolve to).
-		{"centrality/striped+hybrid (default)",
-			bc.Options{Accumulation: bc.AccumStriped, Sweep: bc.SweepAuto}},
+		{"baseline", raw, bc.ScratchHeap},
+		{"reorder", reordered, bc.ScratchHeap},
+		// Forced compression quantifies the capacity trade: adjacency bytes
+		// roughly halve, throughput pays the per-edge decode. The auto
+		// policy takes this trade only when the raw adjacency exceeds the
+		// memory budget, which is why the shipped default below stays raw
+		// at bench scales.
+		{"reorder+compact", compact, bc.ScratchHeap},
+		{"reorder+compact+arena", compact, bc.ScratchAuto},
+		// What -reorder degree -compact auto actually serves at this
+		// working-set size: relabeled raw CSR with arena scratch.
+		{"reorder+arena (default)", reordered, bc.ScratchAuto},
 	}
-	for _, cfg := range bcConfigs {
-		opt := cfg.opt
-		opt.Samples = *samples
-		opt.Seed = *seed
-		rep.Results = append(rep.Results, run(cfg.name, arcs, int64(*samples), func() {
+	if *guard != "" {
+		steps = steps[len(steps)-1:] // full configuration only
+	} else if *only != "" {
+		kept := steps[:0]
+		for _, st := range steps {
+			if st.layout == *only {
+				kept = append(kept, st)
+			}
+		}
+		if len(kept) == 0 {
+			fmt.Fprintf(os.Stderr, "bench: -only: unknown layout %q\n", *only)
+			os.Exit(2)
+		}
+		steps = kept
+	}
+	for _, st := range steps {
+		g, scratch := st.g, st.scratch
+		opt := bc.Options{Samples: *samples, Seed: *seed, Scratch: scratch}
+		rep.Results = append(rep.Results, run("centrality", st.layout, g, arcs, int64(*samples), func() {
 			bc.Centrality(g, opt)
 		}))
 	}
+	if *guard != "" {
+		runGuard(*guard, rep.Results[len(rep.Results)-1])
+		return
+	}
+	if *only != "" {
+		return // per-run lines already printed; no report for partial matrices
+	}
+	rep.AggregateSpeedup = rep.Results[len(rep.Results)-1].EdgesPerSec / rep.Results[0].EdgesPerSec
 	if *k > 0 {
-		opt := bc.Options{K: *k, Samples: *samples, Seed: *seed}
-		rep.Results = append(rep.Results, run(fmt.Sprintf("kcentrality/k=%d", *k), arcs, int64(*samples), func() {
-			bc.Centrality(g, opt)
-		}))
+		// k-betweenness is where scratch churn dominated pre-arena; bench
+		// it at both ablation endpoints so the GC-pressure claim is
+		// auditable.
+		for _, st := range []struct {
+			layout  string
+			g       *graph.Graph
+			scratch bc.Scratch
+		}{
+			{"baseline", raw, bc.ScratchHeap},
+			{"reorder+arena (default)", reordered, bc.ScratchAuto},
+		} {
+			g := st.g
+			opt := bc.Options{K: *k, Samples: *samples, Seed: *seed, Scratch: st.scratch}
+			rep.Results = append(rep.Results, run(fmt.Sprintf("kcentrality/k=%d", *k), st.layout, g, arcs, int64(*samples), func() {
+				bc.Centrality(g, opt)
+			}))
+		}
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -114,29 +225,106 @@ func main() {
 		os.Exit(1)
 	}
 	enc = append(enc, '\n')
+	table := os.Stdout
 	if *out == "-" {
 		os.Stdout.Write(enc)
-		return
+		table = os.Stderr
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	printTable(table, &rep)
 }
 
-// run benchmarks fn via testing.Benchmark and converts the timing into the
-// report row. edgesTraversed is the per-iteration edge count the
-// throughput metric divides by (arcs × sources).
-func run(name string, arcs, sources int64, fn func()) result {
-	fmt.Fprintf(os.Stderr, "%-45s ", name)
-	r := testing.Benchmark(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			fn()
+// printTable renders the ablation as a human-readable stdout table; the
+// JSON report stays the machine-readable artifact.
+func printTable(w *os.File, rep *report) {
+	fmt.Fprintf(w, "\nmemory-layout ablation: R-MAT scale %d, %d arcs, %d samples, GOMAXPROCS=%d\n\n",
+		rep.RMATScale, rep.Arcs, rep.Samples, rep.GoMaxProcs)
+	fmt.Fprintf(w, "%-22s %-22s %14s %14s %12s %8s\n", "kernel", "layout", "ns/op", "edges/s", "adj bytes", "speedup")
+	base := make(map[string]float64)
+	for _, r := range rep.Results {
+		if r.Layout == "baseline" {
+			base[r.Kernel] = r.EdgesPerSec
 		}
-	})
-	ns := r.NsPerOp()
+		speedup := "-"
+		if b := base[r.Kernel]; b > 0 {
+			speedup = fmt.Sprintf("%.2fx", r.EdgesPerSec/b)
+		}
+		fmt.Fprintf(w, "%-22s %-22s %14d %14.0f %12d %8s\n",
+			r.Kernel, r.Layout, r.NsPerOp, r.EdgesPerSec, r.AdjBytes, speedup)
+	}
+	fmt.Fprintf(w, "\nadjacency compression: %d -> %d bytes (%.2fx)\n",
+		rep.RawAdjBytes, rep.CompactAdjBytes, rep.CompressionRatio)
+	if rep.AggregateSpeedup > 0 {
+		fmt.Fprintf(w, "aggregate BC speedup (default vs baseline): %.2fx\n", rep.AggregateSpeedup)
+	}
+}
+
+// runGuard compares the just-measured full-configuration BC throughput
+// against the committed report and exits nonzero on a >20% regression.
+func runGuard(path string, measured result) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: -guard:", err)
+		os.Exit(1)
+	}
+	var committed report
+	if err := json.Unmarshal(data, &committed); err != nil {
+		fmt.Fprintln(os.Stderr, "bench: -guard:", err)
+		os.Exit(1)
+	}
+	var want float64
+	for _, r := range committed.Results {
+		if strings.HasPrefix(r.Kernel, "centrality") && strings.HasPrefix(r.Layout, "reorder+arena") {
+			want = r.EdgesPerSec
+		}
+	}
+	if want <= 0 {
+		fmt.Fprintf(os.Stderr, "bench: -guard: no full-configuration centrality row in %s\n", path)
+		os.Exit(1)
+	}
+	floor := 0.8 * want
+	fmt.Fprintf(os.Stderr, "guard: measured %.0f edges/s, committed %.0f, floor %.0f\n",
+		measured.EdgesPerSec, want, floor)
+	if measured.EdgesPerSec < floor {
+		fmt.Fprintf(os.Stderr, "guard: FAIL — BC throughput regressed more than 20%%\n")
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "guard: ok")
+}
+
+// run benchmarks fn via testing.Benchmark and converts the timing into
+// the report row. edgesTraversed is arcs × sources per iteration — the
+// throughput denominator. The row records the fastest of benchReps
+// repetitions: scheduler and frequency noise on shared machines only ever
+// slows a run down, so the minimum is the stable estimator and repeated
+// invocations agree far better than single-shot timings.
+func run(kernel, layout string, g *graph.Graph, arcs, sources int64, fn func()) result {
+	fmt.Fprintf(os.Stderr, "%-14s %-22s ", kernel, layout)
+	var ns int64
+	iters := 0
+	for rep := 0; rep < benchReps; rep++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fn()
+			}
+		})
+		if ns == 0 || r.NsPerOp() < ns {
+			ns = r.NsPerOp()
+			iters = r.N
+		}
+	}
 	eps := float64(arcs*sources) / (float64(ns) * 1e-9)
 	fmt.Fprintf(os.Stderr, "%12d ns/op %14.0f edges/s\n", ns, eps)
-	return result{Kernel: name, NsPerOp: ns, EdgesPerSec: eps, Iterations: r.N}
+	return result{
+		Kernel: kernel, Layout: layout, NsPerOp: ns, EdgesPerSec: eps,
+		Iterations: iters, AdjBytes: g.AdjBytes(), MemoryFootprint: g.MemoryFootprint(),
+	}
 }
+
+// benchReps is the -reps flag: repetitions per row, fastest reported.
+var benchReps = 1

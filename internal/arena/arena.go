@@ -1,0 +1,79 @@
+// Package arena provides a bump allocator for kernel scratch memory.
+//
+// Per-source kernels like Brandes betweenness carve half a dozen O(n)
+// arrays per workspace (dist, sigma, delta, visitation order, frontier
+// bitmap). Allocating them individually costs one GC-visible object each
+// and scatters them across the heap; a workspace arena makes them one
+// allocation, laid out contiguously in the order the sweeps touch them,
+// and reusable across sources with a pointer reset instead of a free.
+// The allocator only hands out pointer-free element types, so the GC
+// never scans the buffer.
+package arena
+
+import "unsafe"
+
+// Arena is a bump allocator over one contiguous buffer. Not safe for
+// concurrent use — kernels keep one arena per worker (the same discipline
+// as their workspaces).
+type Arena struct {
+	buf []byte
+	off int
+}
+
+// New returns an arena with the given byte capacity.
+func New(capacity int) *Arena {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Arena{buf: make([]byte, capacity)}
+}
+
+// Cap returns the arena's total byte capacity.
+func (a *Arena) Cap() int { return len(a.buf) }
+
+// Used returns the bytes currently allocated.
+func (a *Arena) Used() int { return a.off }
+
+// Reset makes the whole buffer available again. Slices handed out before
+// the reset must no longer be used: they alias memory the next allocations
+// will reuse.
+func (a *Arena) Reset() { a.off = 0 }
+
+// align8 is the allocation granularity; every type the kernels carve
+// (int32, int64, float64, uint64) is satisfied by 8-byte alignment, and
+// the Go allocator aligns the backing buffer at least that much.
+const align8 = 8
+
+// Make carves an n-element slice of T from the arena, zeroed (the backing
+// buffer starts zero and Reset does not re-zero — callers that reuse an
+// arena reset their state explicitly, exactly as the pooled kernel
+// workspaces already do). When the arena is exhausted it falls back to the
+// regular heap, so sizing the arena is a performance decision, never a
+// correctness one.
+//
+// T must not contain pointers: the arena's buffer is untyped bytes, so the
+// GC would never see them. All kernel scratch types (ids, counts, scores,
+// bit words) qualify.
+func Make[T any](a *Arena, n int) []T {
+	var zero T
+	size := int(unsafe.Sizeof(zero))
+	if n <= 0 {
+		return []T{}
+	}
+	need := size * n
+	off := (a.off + align8 - 1) &^ (align8 - 1)
+	if off+need > len(a.buf) {
+		return make([]T, n)
+	}
+	a.off = off + need
+	return unsafe.Slice((*T)(unsafe.Pointer(&a.buf[off])), n)
+}
+
+// Bytes returns the byte size of an n-element []T allocation including
+// alignment padding — the sizing helper for pre-computing an arena
+// capacity that fits a whole workspace.
+func Bytes[T any](n int) int {
+	var zero T
+	size := int(unsafe.Sizeof(zero)) * n
+	return (size + align8 - 1) &^ (align8 - 1)
+}

@@ -1,0 +1,102 @@
+package arena
+
+import "testing"
+
+func TestMakeCarvesZeroedAlignedSlices(t *testing.T) {
+	a := New(Bytes[int32](3) + Bytes[float64](2) + Bytes[uint64](1))
+	xs := Make[int32](a, 3)
+	ys := Make[float64](a, 2)
+	zs := Make[uint64](a, 1)
+	if len(xs) != 3 || len(ys) != 2 || len(zs) != 1 {
+		t.Fatalf("lengths = %d %d %d", len(xs), len(ys), len(zs))
+	}
+	for i, x := range xs {
+		if x != 0 {
+			t.Fatalf("xs[%d] = %d, want 0", i, x)
+		}
+	}
+	if ys[0] != 0 || ys[1] != 0 || zs[0] != 0 {
+		t.Fatal("carved slices not zeroed")
+	}
+	// The three carves fill the arena exactly: every allocation rounds to
+	// the 8-byte granularity Bytes accounts for.
+	if a.Used() != a.Cap() {
+		t.Fatalf("Used = %d, Cap = %d; Bytes sizing disagrees with Make", a.Used(), a.Cap())
+	}
+	// Writes land in the arena, not some shared scratch: slices are
+	// disjoint.
+	xs[2] = -1
+	ys[0] = 3.5
+	if zs[0] != 0 {
+		t.Fatal("writes to earlier carves leaked into a later one")
+	}
+}
+
+func TestMakeAlignsOddSizes(t *testing.T) {
+	a := New(64)
+	b := Make[byte](a, 3) // 3 bytes, next carve must realign
+	f := Make[float64](a, 1)
+	if len(b) != 3 || len(f) != 1 {
+		t.Fatal("bad lengths")
+	}
+	if a.Used()%8 != 0 {
+		t.Fatalf("Used = %d, want multiple of 8 after float64 carve", a.Used())
+	}
+	if Bytes[byte](3) != 8 {
+		t.Fatalf("Bytes[byte](3) = %d, want 8 (padded)", Bytes[byte](3))
+	}
+}
+
+func TestMakeFallsBackToHeapWhenExhausted(t *testing.T) {
+	a := New(16)
+	first := Make[int64](a, 2) // fills the arena
+	over := Make[int64](a, 4)  // must come from the heap, not fail
+	if len(first) != 2 || len(over) != 4 {
+		t.Fatal("bad lengths")
+	}
+	if a.Used() != 16 {
+		t.Fatalf("Used = %d after heap fallback, want 16 (fallback must not consume arena)", a.Used())
+	}
+	over[0] = 7 // must not corrupt the arena carve
+	if first[0] != 0 {
+		t.Fatal("heap fallback aliases the arena")
+	}
+}
+
+func TestResetReusesBuffer(t *testing.T) {
+	a := New(Bytes[int32](4))
+	first := Make[int32](a, 4)
+	first[0] = 42
+	a.Reset()
+	if a.Used() != 0 {
+		t.Fatalf("Used = %d after Reset", a.Used())
+	}
+	second := Make[int32](a, 4)
+	// Same backing memory: Reset recycles, it does not re-zero (the
+	// documented contract — callers clear their own state).
+	if &first[0] != &second[0] {
+		t.Fatal("Reset did not reuse the buffer")
+	}
+	if second[0] != 42 {
+		t.Fatalf("second[0] = %d; Reset must not re-zero", second[0])
+	}
+}
+
+func TestDegenerateSizes(t *testing.T) {
+	a := New(-5)
+	if a.Cap() != 0 {
+		t.Fatalf("Cap = %d for negative capacity", a.Cap())
+	}
+	if s := Make[int32](a, 0); len(s) != 0 {
+		t.Fatal("n=0 must yield an empty slice")
+	}
+	if s := Make[int32](a, -1); len(s) != 0 {
+		t.Fatal("n<0 must yield an empty slice")
+	}
+	if s := Make[int64](a, 3); len(s) != 3 {
+		t.Fatal("empty arena must still serve via heap fallback")
+	}
+	if Bytes[int32](0) != 0 {
+		t.Fatalf("Bytes(0) = %d", Bytes[int32](0))
+	}
+}

@@ -83,12 +83,12 @@ func TestHybridSweepMatchesReference(t *testing.T) {
 func TestHybridSweepTakesBottomUpLevels(t *testing.T) {
 	g := gen.ErdosRenyi(400, 2400, 1)
 	n := g.NumVertices()
-	ws := newWorkspace(n, 0)
+	ws := newWorkspace(n, 0, 0, ScratchAuto)
 	sink := scoreSink{local: make([]float64, n), scale: 1}
 	brandesSource(g, 0, ws, sink, false, SweepAuto)
-	// brandesSource resets the workspace, but the bitmap is allocated
-	// lazily on the first bottom-up level and survives reset.
-	if ws.front == nil {
+	// brandesSource resets the workspace, but the bottom-up level counter
+	// survives reset.
+	if ws.bottomUps == 0 {
 		t.Fatal("no level ran bottom-up on a dense graph; thresholds broken?")
 	}
 }

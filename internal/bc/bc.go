@@ -70,14 +70,30 @@ type Options struct {
 	// SweepAuto direction-optimizes; SweepTopDown forces the classic
 	// push-only reference sweep. Scores are bit-identical either way.
 	Sweep Sweep
+	// Scratch selects how per-source workspaces allocate. The zero value
+	// ScratchAuto carves each workspace from one bump-allocator arena;
+	// ScratchHeap keeps the individual heap allocations (the pre-arena
+	// behavior, retained for the ablation benchmarks).
+	Scratch Scratch
 }
+
+// Scratch selects the workspace allocation strategy.
+type Scratch int
+
+const (
+	// ScratchAuto backs each pooled workspace with an internal/arena bump
+	// allocator: one GC-opaque allocation per concurrency slot.
+	ScratchAuto Scratch = iota
+	// ScratchHeap allocates each scratch array individually on the heap.
+	ScratchHeap
+)
 
 // Sweep selects the traversal strategy of the Brandes forward sweeps.
 type Sweep int
 
 const (
 	// SweepAuto direction-optimizes each level: top-down push while the
-	// frontier is small, bottom-up pull (bitmap frontier) when the
+	// frontier is small, bottom-up pull (frontier-sigma array) when the
 	// frontier's out-edges dominate, per the thresholds shared with
 	// bfs.HybridSearch.
 	SweepAuto Sweep = iota
@@ -148,6 +164,13 @@ func CentralityCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, e
 		slots = 1
 	}
 	acc := newAccumulator(n, slots, opt.Accumulation, opt.StripeBudget, scale)
+	// Compact graphs decode neighbor rows into a workspace buffer sized to
+	// the maximum degree, so the hot sweeps never allocate; raw graphs
+	// alias CSR storage and need no buffer.
+	nbufCap := 0
+	if g.Compacted() {
+		nbufCap = g.MaxDegree()
+	}
 	grp := par.NewGroup(limit)
 	var pool sync.Pool
 	for _, s := range sources {
@@ -163,7 +186,7 @@ func CentralityCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, e
 			defer release()
 			ws, _ := pool.Get().(*workspace)
 			if ws == nil || ws.n != n || ws.k != opt.K {
-				ws = newWorkspace(n, opt.K)
+				ws = newWorkspace(n, opt.K, nbufCap, opt.Scratch)
 			}
 			if opt.K == 0 {
 				brandesSource(g, s, ws, sink, opt.FineGrained, opt.Sweep)

@@ -150,7 +150,7 @@ func TestKZeroGeneralPathMatchesBrandes(t *testing.T) {
 		n := g.NumVertices()
 		want := Exact(g).Scores
 		scores := make([]float64, n)
-		ws := newWorkspace(n, 0)
+		ws := newWorkspace(n, 0, 0, ScratchAuto)
 		for s := 0; s < n; s++ {
 			kbcSource(g, int32(s), ws, scoreSink{local: scores, scale: 1})
 		}

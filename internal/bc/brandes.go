@@ -3,6 +3,7 @@ package bc
 import (
 	"sync/atomic"
 
+	"graphct/internal/arena"
 	"graphct/internal/bfs"
 	"graphct/internal/graph"
 	"graphct/internal/par"
@@ -12,6 +13,17 @@ import (
 // concurrent sources bound total memory at O(S·(m+n)) for S in-flight
 // sources, matching the paper's memory model. Arrays are kept clean between
 // runs by resetting only the vertices the previous search touched.
+//
+// By default the arrays are carved from one workspace arena: a single
+// GC-opaque allocation instead of seven heap objects per slot, laid out in
+// sweep-touch order. Options.Scratch == ScratchHeap keeps the pre-arena
+// individual allocations for the ablation benchmarks.
+//
+// The per-vertex state stays in separate dense arrays rather than an
+// interleaved struct-of-one-record layout: the whole per-source state
+// fits L2 at bench scales and the hot entries are the relabeled hubs,
+// which dense arrays pack 16-per-cache-line into L1 — measured faster
+// than interleaving, which only pays off when every field access misses.
 type workspace struct {
 	n, k       int
 	dist       []int32
@@ -20,18 +32,33 @@ type workspace struct {
 	sigTot     []float64 // per-vertex total short-path count (k > 0 only)
 	order      []int32   // visitation order of the last search
 	levelStart []int     // offsets into order where each BFS level begins
-	front      bitset    // previous-level membership for bottom-up sweeps
+	nbuf       []int32   // neighbor decode buffer for compact graphs
+	ar         *arena.Arena
+	bottomUps  int // levels discovered pull-style; survives reset (test sentinel)
 }
 
-func newWorkspace(n, k int) *workspace {
-	ws := &workspace{
-		n:      n,
-		k:      k,
-		dist:   make([]int32, n),
-		sigma:  make([]float64, n*(k+1)),
-		delta:  make([]float64, n*(k+1)),
-		sigTot: make([]float64, n),
-		order:  make([]int32, 0, n),
+func newWorkspace(n, k, nbufCap int, scratch Scratch) *workspace {
+	ws := &workspace{n: n, k: k}
+	if scratch == ScratchHeap {
+		ws.dist = make([]int32, n)
+		ws.sigma = make([]float64, n*(k+1))
+		ws.delta = make([]float64, n*(k+1))
+		ws.sigTot = make([]float64, n)
+		ws.order = make([]int32, 0, n)
+		ws.nbuf = make([]int32, 0, nbufCap)
+	} else {
+		bytes := arena.Bytes[int32](n) + // dist
+			2*arena.Bytes[float64](n*(k+1)) + // sigma, delta
+			arena.Bytes[float64](n) + // sigTot
+			arena.Bytes[int32](n) + // order
+			arena.Bytes[int32](nbufCap)
+		ws.ar = arena.New(bytes)
+		ws.dist = arena.Make[int32](ws.ar, n)
+		ws.sigma = arena.Make[float64](ws.ar, n*(k+1))
+		ws.delta = arena.Make[float64](ws.ar, n*(k+1))
+		ws.sigTot = arena.Make[float64](ws.ar, n)
+		ws.order = arena.Make[int32](ws.ar, n)[:0]
+		ws.nbuf = arena.Make[int32](ws.ar, nbufCap)[:0]
 	}
 	for i := range ws.dist {
 		ws.dist[i] = -1
@@ -39,8 +66,7 @@ func newWorkspace(n, k int) *workspace {
 	return ws
 }
 
-// reset clears the entries touched by the last search. The frontier bitmap
-// needs no clearing here: bottom-up levels rebuild it before every use.
+// reset clears the entries touched by the last search.
 func (ws *workspace) reset() {
 	stride := ws.k + 1
 	for _, v := range ws.order {
@@ -58,27 +84,13 @@ func (ws *workspace) reset() {
 	ws.levelStart = ws.levelStart[:0]
 }
 
-// bitset is a packed vertex set; bottom-up sweeps test previous-level
-// membership with one bit load instead of a 4-byte dist compare, keeping
-// the hub-scan working set 32× smaller.
-type bitset []uint64
-
-func newBitset(n int) bitset      { return make(bitset, (n+63)/64) }
-func (b bitset) set(v int32)      { b[v>>6] |= 1 << (uint(v) & 63) }
-func (b bitset) has(v int32) bool { return b[v>>6]&(1<<(uint(v)&63)) != 0 }
-func (b bitset) clear() {
-	for i := range b {
-		b[i] = 0
-	}
-}
-
 // brandesSource runs one source's forward and backward sweeps,
 // accumulating scaled dependency contributions into sink.
 //
 // The forward sweep is level-synchronous and direction-optimizing: each
 // level runs top-down (push from the frontier) or bottom-up (every
-// unvisited vertex pulls path counts from frontier neighbors found via the
-// bitmap) by the Beamer thresholds shared with bfs.HybridSearch. On
+// unvisited vertex pulls path counts straight from the frontier-sigma
+// array) by the Beamer thresholds shared with bfs.HybridSearch. On
 // scale-free graphs the two or three hub-dominated middle levels hold most
 // of the edges; bottom-up stops those levels from scanning the whole edge
 // list through the frontier.
@@ -113,7 +125,7 @@ func brandesSource(g *graph.Graph, s int32, ws *workspace, sink scoreSink, fine 
 		if hybrid && frontierEdges > remaining/bfs.HybridAlpha && int64(len(frontier)) > n/bfs.HybridBeta {
 			ws.bottomUpLevel(g, frontier)
 		} else {
-			topDownLevel(g, frontier, dist, sigma, &ws.order)
+			ws.topDownLevel(g, frontier)
 		}
 		if len(ws.order) == frontierEnd {
 			break
@@ -125,15 +137,18 @@ func brandesSource(g *graph.Graph, s int32, ws *workspace, sink scoreSink, fine 
 }
 
 // topDownLevel expands the frontier push-style: the classic Brandes step,
-// O(frontier out-edges).
-func topDownLevel(g *graph.Graph, frontier []int32, dist []int32, sigma []float64, order *[]int32) {
+// O(frontier out-edges). NeighborsInto keeps the raw path an aliased CSR
+// subslice and decodes compact rows into the workspace buffer, so the loop
+// body is identical either way and allocation-free after warmup.
+func (ws *workspace) topDownLevel(g *graph.Graph, frontier []int32) {
+	dist, sigma := ws.dist, ws.sigma
 	for _, u := range frontier {
 		du := dist[u]
 		su := sigma[u]
-		for _, v := range g.Neighbors(u) {
+		for _, v := range g.NeighborsInto(&ws.nbuf, u) {
 			if dist[v] == -1 {
 				dist[v] = du + 1
-				*order = append(*order, v)
+				ws.order = append(ws.order, v)
 			}
 			if dist[v] == du+1 {
 				sigma[v] += su
@@ -143,29 +158,34 @@ func topDownLevel(g *graph.Graph, frontier []int32, dist []int32, sigma []float6
 }
 
 // bottomUpLevel discovers the next level pull-style: every unvisited
-// vertex scans its own adjacency for frontier members (bitmap test) and
-// sums their path counts in one shot. O(unvisited-vertex edges), which on
-// hub levels is far less than the frontier's out-edges.
+// vertex scans its own adjacency and sums frontier path counts in one
+// shot. O(unvisited-vertex edges), which on hub levels is far less than
+// the frontier's out-edges.
+//
+// Frontier membership is encoded in the values themselves: fsig holds
+// sigma[u] for frontier vertices and 0 everywhere else, so the inner loop
+// is an unconditional load-and-add — no membership test, no branch to
+// mispredict on the hub levels where half the neighbors are frontier.
+// ws.delta is dead during the forward sweep (zeroed by reset) and hosts
+// fsig; the frontier entries are re-zeroed before returning, restoring
+// the all-zero invariant the next bottom-up level (and reset's
+// bookkeeping) relies on.
 func (ws *workspace) bottomUpLevel(g *graph.Graph, frontier []int32) {
-	if ws.front == nil {
-		ws.front = newBitset(ws.n)
-	}
-	front := ws.front
-	front.clear()
+	ws.bottomUps++
+	fsig := ws.delta
+	sigma := ws.sigma
 	for _, u := range frontier {
-		front.set(u)
+		fsig[u] = sigma[u]
 	}
 	d := ws.dist[frontier[0]] + 1
-	dist, sigma := ws.dist, ws.sigma
+	dist := ws.dist
 	for v := int32(0); int(v) < ws.n; v++ {
 		if dist[v] != -1 {
 			continue
 		}
 		var sv float64
-		for _, u := range g.Neighbors(v) {
-			if front.has(u) {
-				sv += sigma[u]
-			}
+		for _, u := range g.NeighborsInto(&ws.nbuf, v) {
+			sv += fsig[u]
 		}
 		if sv != 0 {
 			dist[v] = d
@@ -173,34 +193,52 @@ func (ws *workspace) bottomUpLevel(g *graph.Graph, frontier []int32) {
 			ws.order = append(ws.order, v)
 		}
 	}
+	for _, u := range frontier {
+		fsig[u] = 0
+	}
 }
 
 // backwardSweep evaluates the Brandes dependency recurrence pull-style,
-// deepest level first: delta[v] sums sigma[v]/sigma[w]·(1+delta[w]) over
+// deepest level first: delta[v] = sigma[v] · Σ (1+delta[w])/sigma[w] over
 // v's successors w in sorted adjacency order. Pulling makes each vertex
 // the only writer of its own delta entry and fixes the floating-point
 // summation order independently of visitation order.
+//
+// The successor term (1+delta[w])/sigma[w] is materialized into coef[w]
+// once per vertex, and the level structure makes the successor test
+// itself free: a neighbor of a level-li vertex can only live on levels
+// li-1, li or li+1, so if coef is populated for strictly deeper levels
+// only — each level's coefficients are published in a second pass, after
+// every delta of that level is computed — then coef[w] is nonzero exactly
+// for successors and zero otherwise (unset levels and unreached vertices
+// read as the cleared 0). The inner loop is one load and one add per
+// edge: no dist read, no branch, no divide. ws.sigTot is dead in the
+// k=0 path and hosts coef without a new allocation.
 func backwardSweep(g *graph.Graph, s int32, ws *workspace, sink scoreSink) {
-	dist, sigma, delta := ws.dist, ws.sigma, ws.delta
+	sigma, delta := ws.sigma, ws.delta
+	coef := ws.sigTot
 	for li := len(ws.levelStart) - 1; li >= 0; li-- {
 		lo := ws.levelStart[li]
 		hi := len(ws.order)
 		if li+1 < len(ws.levelStart) {
 			hi = ws.levelStart[li+1]
 		}
-		for _, v := range ws.order[lo:hi] {
-			dv := dist[v]
-			sv := sigma[v]
+		lvl := ws.order[lo:hi]
+		for _, v := range lvl {
 			var dsum float64
-			for _, w := range g.Neighbors(v) {
-				if dist[w] == dv+1 {
-					dsum += sv / sigma[w] * (1 + delta[w])
-				}
+			for _, w := range g.NeighborsInto(&ws.nbuf, v) {
+				dsum += coef[w]
 			}
+			dsum *= sigma[v]
 			delta[v] = dsum
 			if v != s {
 				sink.add(v, dsum)
 			}
+		}
+		// Publish this level's coefficients only now: during the pass
+		// above, same-level neighbors must still read coef == 0.
+		for _, v := range lvl {
+			coef[v] = (1 + delta[v]) / sigma[v]
 		}
 	}
 }
@@ -231,12 +269,18 @@ func brandesSourceFine(g *graph.Graph, s int32, ws *workspace, sink scoreSink) {
 		// Sigma: pull from predecessors, parallel and race-free. Guided
 		// scheduling keeps a worker that drew a run of hubs from
 		// stranding the level's tail.
+		// NeighborIter rather than a decode buffer: the guided-parallel
+		// chunks share the workspace, so a common buffer would race.
 		par.ForGuided(len(next), 128, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				v := next[i]
 				dv := dist[v]
 				var sv float64
-				for _, u := range g.Neighbors(v) {
+				for it := g.NeighborIter(v); ; {
+					u, ok := it.Next()
+					if !ok {
+						break
+					}
 					if dist[u] == dv-1 {
 						sv += sigma[u]
 					}
@@ -246,7 +290,13 @@ func brandesSourceFine(g *graph.Graph, s int32, ws *workspace, sink scoreSink) {
 		})
 		frontier = ws.order[frontierEnd:]
 	}
-	// Delta: pull from successors level by level, deepest first.
+	// Delta: pull from successors level by level, deepest first, through
+	// the same two-pass coef[w] = (1+delta[w])/sigma[w] materialization
+	// as backwardSweep (identical arithmetic, so the two strategies stay
+	// bit-identical): the delta pass reads only deeper levels' published
+	// coefficients, then a second barrier-separated pass publishes this
+	// level's — which also keeps the parallel loops race-free.
+	coef := ws.sigTot
 	for li := len(ws.levelStart) - 1; li >= 0; li-- {
 		lo := ws.levelStart[li]
 		hi := len(ws.order)
@@ -257,18 +307,25 @@ func brandesSourceFine(g *graph.Graph, s int32, ws *workspace, sink scoreSink) {
 		par.ForGuided(len(lvl), 128, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				v := lvl[i]
-				dv := dist[v]
-				sv := sigma[v]
 				var dsum float64
-				for _, w := range g.Neighbors(v) {
-					if dist[w] == dv+1 {
-						dsum += sv / sigma[w] * (1 + delta[w])
+				for it := g.NeighborIter(v); ; {
+					w, ok := it.Next()
+					if !ok {
+						break
 					}
+					dsum += coef[w]
 				}
+				dsum *= sigma[v]
 				delta[v] = dsum
 				if v != s {
 					sink.add(v, dsum)
 				}
+			}
+		})
+		par.ForGuided(len(lvl), 512, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := lvl[i]
+				coef[v] = (1 + delta[v]) / sigma[v]
 			}
 		})
 	}
@@ -282,7 +339,11 @@ func discoverLevel(g *graph.Graph, frontier []int32, dist []int32) []int32 {
 		for i := w; i < len(frontier); i += workers {
 			u := frontier[i]
 			du := dist[u]
-			for _, v := range g.Neighbors(u) {
+			for it := g.NeighborIter(u); ; {
+				v, ok := it.Next()
+				if !ok {
+					break
+				}
 				if atomic.LoadInt32(&dist[v]) == -1 && par.CASInt32(&dist[v], -1, du+1) {
 					buf = append(buf, v)
 				}

@@ -21,6 +21,25 @@ type CSRGraph interface {
 	Neighbors(v int32) []int32
 }
 
+// rowDecoder is the optional fast row access *graph.Graph provides: on a
+// raw CSR graph it returns the aliased adjacency slice, on a delta-varint
+// compact graph it decodes into the caller's reusable buffer. Traversals
+// probe for it so compact graphs traverse without a per-row allocation,
+// while any plain CSRGraph still works through Neighbors.
+type rowDecoder interface {
+	NeighborsInto(buf *[]int32, v int32) []int32
+}
+
+// rowFunc returns the per-worker row accessor for g. Each worker calls
+// this once and owns the returned closure's decode buffer.
+func rowFunc(g CSRGraph) func(v int32) []int32 {
+	if rd, ok := g.(rowDecoder); ok {
+		var nbuf []int32
+		return func(v int32) []int32 { return rd.NeighborsInto(&nbuf, v) }
+	}
+	return g.Neighbors
+}
+
 // Result holds the output of one breadth-first search.
 type Result struct {
 	Source int32
@@ -90,6 +109,7 @@ func expand(g CSRGraph, frontier []int32, level, parent []int32, d int32) []int3
 	const chunk = 64
 	par.ForEachWorker(func(w, _ int) {
 		var buf []int32
+		row := rowFunc(g)
 		for {
 			lo := int(cursor.Add(chunk)) - chunk
 			if lo >= len(frontier) {
@@ -100,7 +120,7 @@ func expand(g CSRGraph, frontier []int32, level, parent []int32, d int32) []int3
 				hi = len(frontier)
 			}
 			for _, u := range frontier[lo:hi] {
-				for _, v := range g.Neighbors(u) {
+				for _, v := range row(u) {
 					if atomic.LoadInt32(&level[v]) != Unreached {
 						continue
 					}

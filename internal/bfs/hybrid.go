@@ -89,6 +89,7 @@ func bottomUpStep(g Degreer, level, parent []int32, d int32) []int32 {
 	const chunk = 4096
 	par.ForEachWorker(func(w, _ int) {
 		var buf []int32
+		row := rowFunc(g)
 		for {
 			lo := int(cursor.Add(chunk)) - chunk
 			if lo >= n {
@@ -102,7 +103,7 @@ func bottomUpStep(g Degreer, level, parent []int32, d int32) []int32 {
 				if atomic.LoadInt32(&level[v]) != Unreached {
 					continue
 				}
-				for _, u := range g.Neighbors(v) {
+				for _, u := range row(v) {
 					// u may be claimed concurrently in this same step
 					// (then its level is d, not d-1), so the read must
 					// be atomic even though v's entries are worker-owned.

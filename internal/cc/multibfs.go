@@ -51,6 +51,7 @@ func ComponentsBFS(g *graph.Graph) *Result {
 		par.ForEachWorker(func(w, _ int) {
 			var next []int32
 			var coll []collision
+			var nbuf []int32
 			for {
 				lo := int(cursor.Add(chunk)) - chunk
 				if lo >= len(frontier) {
@@ -62,7 +63,7 @@ func ComponentsBFS(g *graph.Graph) *Result {
 				}
 				for _, u := range frontier[lo:hi] {
 					cu := atomic.LoadInt32(&colors[u])
-					for _, v := range work.Neighbors(u) {
+					for _, v := range work.NeighborsInto(&nbuf, u) {
 						for {
 							cv := atomic.LoadInt32(&colors[v])
 							if cv <= cu {

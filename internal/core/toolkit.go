@@ -130,6 +130,24 @@ func (t *Toolkit) setGraph(g *graph.Graph, orig []int32) {
 	t.comps = nil
 }
 
+// Reorder relabels the current graph's vertices for cache locality
+// (graph.DegreePerm or graph.BFSPerm per kind; ReorderNone is a no-op).
+// The inverse permutation becomes the orig-id composition, so per-vertex
+// output (kcentrality rankings, extractions) keeps reporting ids of the
+// originally loaded graph — the relabeling is invisible outside kernel
+// memory behavior.
+func (t *Toolkit) Reorder(kind graph.ReorderKind) error {
+	if kind == graph.ReorderNone {
+		return nil
+	}
+	rg, inv, err := graph.Layout{Reorder: kind, Compact: graph.CompactOff}.Apply(t.g)
+	if err != nil {
+		return err
+	}
+	t.setGraph(rg, inv)
+	return nil
+}
+
 // Diameter returns the sampled diameter estimate, computing and caching it
 // on first use — GraphCT estimates it after loading and stores it globally
 // for queue sizing.

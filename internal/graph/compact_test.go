@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// assertSameRows checks that every row of a and b decodes identically
+// through all three access paths.
+func assertSameRows(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumArcs() != b.NumArcs() {
+		t.Fatalf("shape mismatch: %v vs %v", a, b)
+	}
+	var buf []int32
+	for v := int32(0); int(v) < a.NumVertices(); v++ {
+		want := a.Neighbors(v)
+		if got := b.Neighbors(v); !equalInt32(got, want) {
+			t.Fatalf("Neighbors(%d): %v vs %v", v, got, want)
+		}
+		if got := b.NeighborsInto(&buf, v); !equalInt32(got, want) {
+			t.Fatalf("NeighborsInto(%d): %v vs %v", v, got, want)
+		}
+		it := b.NeighborIter(v)
+		for i, w := range want {
+			got, ok := it.Next()
+			if !ok || got != w {
+				t.Fatalf("NeighborIter(%d)[%d] = %d,%v want %d", v, i, got, ok, w)
+			}
+		}
+		if _, ok := it.Next(); ok {
+			t.Fatalf("NeighborIter(%d) overruns the row", v)
+		}
+	}
+}
+
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCompactRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		g := randomGraph(t, 200, 600, seed)
+		c := g.Compact()
+		if !c.Compacted() || g.Compacted() {
+			t.Fatal("Compacted flags wrong")
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("seed %d: compact graph invalid: %v", seed, err)
+		}
+		assertSameRows(t, g, c)
+		// Decompress restores the raw arrays; AdjArray materializes them
+		// without mutating the compact graph.
+		d := c.Decompress()
+		if d.Compacted() {
+			t.Fatal("Decompress left graph compact")
+		}
+		assertSameRows(t, g, d)
+		if !equalInt32(c.AdjArray(), g.AdjArray()) {
+			t.Fatal("AdjArray of compact graph differs")
+		}
+		if c.AdjBytes() >= g.AdjBytes() {
+			t.Fatalf("seed %d: no compression (%d >= %d)", seed, c.AdjBytes(), g.AdjBytes())
+		}
+		if c.MemoryFootprint() >= g.MemoryFootprint() {
+			t.Fatal("compact footprint not smaller")
+		}
+	}
+}
+
+func TestCompactIdempotentAndWeightedExempt(t *testing.T) {
+	g := randomGraph(t, 50, 100, 1)
+	c := g.Compact()
+	if c.Compact() != c {
+		t.Fatal("compacting a compact graph must return it unchanged")
+	}
+	wg, err := FromWeightedEdges(3, []WeightedEdge{{0, 1, 5}, {1, 2, 6}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wg.Compact() != wg {
+		t.Fatal("weighted graph must be returned raw")
+	}
+	if wg.Decompress() != wg {
+		t.Fatal("decompressing a raw graph must return it unchanged")
+	}
+}
+
+// TestCompactWideGaps exercises the multi-byte varint paths: neighbor ids
+// spread across a large id space produce 2-5 byte gaps, including the
+// >=3-byte slow path the branchless decoders punt to.
+func TestCompactWideGaps(t *testing.T) {
+	const n = 1 << 22 // ids up to ~4M: gaps need up to 3 bytes
+	edges := []Edge{
+		{0, 1},            // 1-byte gap
+		{0, 1000},         // 2-byte gap
+		{0, 300000},       // 3-byte gap
+		{0, n - 1},        // 3-byte gap from 300000
+		{5, n - 1},        // single huge first-gap row
+		{n - 2, n - 1},    // near the end of the id space
+		{100000, 2000000}, // interior wide gap
+	}
+	g, err := FromEdges(n, edges, Options{Directed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Compact()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, g, c)
+}
+
+func TestCompactEmptyAndSingleRows(t *testing.T) {
+	// Mostly isolated vertices and an empty graph: offs/pad bookkeeping
+	// must hold when rows are empty.
+	g, err := FromEdges(10, []Edge{{3, 7}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Compact()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, g, c)
+
+	empty, err := FromEdges(4, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce := empty.Compact()
+	if err := ce.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, empty, ce)
+}
+
+func TestKernelsSeeCompactPad(t *testing.T) {
+	// The last encoded row must decode correctly even though its final
+	// varint abuts the stream pad — the case the pad byte exists for.
+	g, err := FromEdges(3, []Edge{{2, 1}, {2, 0}}, Options{Directed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Compact()
+	if got := c.Neighbors(2); !equalInt32(got, []int32{0, 1}) {
+		t.Fatalf("last row = %v", got)
+	}
+	if int64(len(c.compact.data)) != c.compact.offs[3]+compactPad {
+		t.Fatalf("pad missing: %d data bytes, offs end %d", len(c.compact.data), c.compact.offs[3])
+	}
+}
+
+func TestDecodeAdjacencyHostileInput(t *testing.T) {
+	dst := make([]int32, 8)
+	cases := []struct {
+		name string
+		data []byte
+		deg  int
+	}{
+		{"truncated varint", []byte{0x80}, 1},
+		{"empty data nonzero degree", nil, 1},
+		{"overlong varint", []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x01}, 1},
+		{"gap overflows uint32", []byte{0xff, 0xff, 0xff, 0xff, 0x7f}, 1},
+		{"cumulative sum leaves int32", []byte{0xff, 0xff, 0xff, 0xff, 0x07, 0xff, 0xff, 0xff, 0xff, 0x07}, 2},
+		{"negative degree", []byte{0x01}, -1},
+	}
+	for _, c := range cases {
+		if _, err := DecodeAdjacency(c.data, c.deg, dst); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := DecodeAdjacency([]byte{0x01, 0x01}, 2, make([]int32, 1)); err == nil {
+		t.Error("undersized buffer accepted")
+	}
+}
+
+func TestAppendAdjacencyRejectsInvalidRows(t *testing.T) {
+	if _, err := AppendAdjacency(nil, []int32{3, 2}); err == nil {
+		t.Error("unsorted row accepted")
+	}
+	if _, err := AppendAdjacency(nil, []int32{-1, 2}); err == nil {
+		t.Error("negative id accepted")
+	}
+	if _, err := adjacencyLen([]int32{5, 4}); err == nil {
+		t.Error("adjacencyLen accepted unsorted row")
+	}
+	// Ids up to MaxInt32 are encodable and round-trip.
+	row := []int32{0, 1, math.MaxInt32}
+	enc, err := AppendAdjacency(nil, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen, err := adjacencyLen(row)
+	if err != nil || wantLen != len(enc) {
+		t.Fatalf("adjacencyLen = %d,%v want %d", wantLen, err, len(enc))
+	}
+	got := make([]int32, 3)
+	if _, err := DecodeAdjacency(enc, 3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !equalInt32(got, row) {
+		t.Fatalf("round trip %v -> %v", row, got)
+	}
+}

@@ -17,9 +17,10 @@ import (
 // sorted ascending, which kernels exploit (e.g. clustering-coefficient
 // intersection).
 type Graph struct {
-	rowPtr   []int64 // len = NumVertices()+1; rowPtr[v]..rowPtr[v+1] index Adj
-	adj      []int32 // concatenated sorted adjacency lists
-	weights  []int32 // optional, aligned with adj; nil when unweighted
+	rowPtr   []int64     // len = NumVertices()+1; rowPtr[v]..rowPtr[v+1] index Adj
+	adj      []int32     // concatenated sorted adjacency lists; nil when compact
+	weights  []int32     // optional, aligned with adj; nil when unweighted
+	compact  *compactAdj // delta-varint adjacency (see compact.go); nil when raw
 	directed bool
 
 	// undirectedOnce memoizes Undirected(): a directed graph is
@@ -37,7 +38,7 @@ func (g *Graph) NumVertices() int { return len(g.rowPtr) - 1 }
 
 // NumArcs returns the number of stored arcs (directed edges). For an
 // undirected graph each edge contributes two arcs.
-func (g *Graph) NumArcs() int64 { return int64(len(g.adj)) }
+func (g *Graph) NumArcs() int64 { return g.rowPtr[len(g.rowPtr)-1] }
 
 // NumEdges returns the number of logical edges: arcs for a directed graph,
 // arcs/2 (plus any self loops counted once) for an undirected graph.
@@ -47,7 +48,11 @@ func (g *Graph) NumEdges() int64 {
 	}
 	var loops int64
 	for v := 0; v < g.NumVertices(); v++ {
-		for _, w := range g.Neighbors(int32(v)) {
+		for it := g.NeighborIter(int32(v)); ; {
+			w, ok := it.Next()
+			if !ok {
+				break
+			}
 			if w == int32(v) {
 				loops++
 			}
@@ -64,10 +69,16 @@ func (g *Graph) Degree(v int32) int {
 	return int(g.rowPtr[v+1] - g.rowPtr[v])
 }
 
-// Neighbors returns the adjacency slice of v. The slice aliases the graph's
-// storage and must not be modified.
+// Neighbors returns the adjacency slice of v. For a raw graph the slice
+// aliases the graph's storage and must not be modified. For a compact graph
+// (see Compact) it is decoded into a fresh allocation per call — correct
+// everywhere, but hot paths should use NeighborsInto or NeighborIter.
 func (g *Graph) Neighbors(v int32) []int32 {
-	return g.adj[g.rowPtr[v]:g.rowPtr[v+1]]
+	if g.compact == nil {
+		return g.adj[g.rowPtr[v]:g.rowPtr[v+1]]
+	}
+	deg := g.rowPtr[v+1] - g.rowPtr[v]
+	return g.appendRow(make([]int32, 0, deg), v)
 }
 
 // Weights returns the edge-weight slice aligned with Neighbors(v), or nil if
@@ -82,12 +93,25 @@ func (g *Graph) Weights(v int32) []int32 {
 // Weighted reports whether per-edge weights are stored.
 func (g *Graph) Weighted() bool { return g.weights != nil }
 
-// HasEdge reports whether the arc u->v is present, via binary search on the
-// sorted adjacency list of u.
+// HasEdge reports whether the arc u->v is present: binary search on the
+// sorted adjacency list of u for raw graphs, an early-exit sequential decode
+// for compact ones (the row is sorted, so the scan stops at the first
+// neighbor >= v).
 func (g *Graph) HasEdge(u, v int32) bool {
-	nbr := g.Neighbors(u)
-	i := sort.Search(len(nbr), func(i int) bool { return nbr[i] >= v })
-	return i < len(nbr) && nbr[i] == v
+	if g.compact == nil {
+		nbr := g.adj[g.rowPtr[u]:g.rowPtr[u+1]]
+		i := sort.Search(len(nbr), func(i int) bool { return nbr[i] >= v })
+		return i < len(nbr) && nbr[i] == v
+	}
+	for it := g.NeighborIter(u); ; {
+		w, ok := it.Next()
+		if !ok || w > v {
+			return false
+		}
+		if w == v {
+			return true
+		}
+	}
 }
 
 // RowPtr exposes the CSR offset array for serialization. Callers must treat
@@ -95,8 +119,14 @@ func (g *Graph) HasEdge(u, v int32) bool {
 func (g *Graph) RowPtr() []int64 { return g.rowPtr }
 
 // AdjArray exposes the CSR adjacency array for serialization. Callers must
-// treat it as read-only.
-func (g *Graph) AdjArray() []int32 { return g.adj }
+// treat it as read-only. For a compact graph the raw array is materialized
+// so on-disk formats stay plain CSR regardless of the in-memory layout.
+func (g *Graph) AdjArray() []int32 {
+	if g.compact != nil {
+		return g.decompressAdj()
+	}
+	return g.adj
+}
 
 // WeightArray exposes the CSR weight array (nil when unweighted) for
 // serialization. Callers must treat it as read-only.
@@ -129,21 +159,39 @@ func (g *Graph) Validate() error {
 			return fmt.Errorf("graph: rowPtr not monotone at vertex %d", v)
 		}
 	}
-	if g.rowPtr[n] != int64(len(g.adj)) {
-		return fmt.Errorf("graph: rowPtr[n] = %d, want %d", g.rowPtr[n], len(g.adj))
-	}
-	if g.weights != nil && len(g.weights) != len(g.adj) {
-		return fmt.Errorf("graph: %d weights for %d arcs", len(g.weights), len(g.adj))
+	if g.compact == nil {
+		if g.rowPtr[n] != int64(len(g.adj)) {
+			return fmt.Errorf("graph: rowPtr[n] = %d, want %d", g.rowPtr[n], len(g.adj))
+		}
+		if g.weights != nil && len(g.weights) != len(g.adj) {
+			return fmt.Errorf("graph: %d weights for %d arcs", len(g.weights), len(g.adj))
+		}
+	} else {
+		if len(g.compact.offs) != n+1 {
+			return fmt.Errorf("graph: compact offsets cover %d vertices, want %d", len(g.compact.offs)-1, n)
+		}
+		if g.compact.offs[n] != int64(len(g.compact.data)-compactPad) {
+			return fmt.Errorf("graph: compact offs[n] = %d, want %d", g.compact.offs[n], len(g.compact.data)-compactPad)
+		}
+		if g.weights != nil {
+			return fmt.Errorf("graph: compact graph with weights (weighted graphs stay raw)")
+		}
 	}
 	for v := 0; v < n; v++ {
-		nbr := g.Neighbors(int32(v))
-		for i, w := range nbr {
+		prev := int32(-1)
+		i := 0
+		for it := g.NeighborIter(int32(v)); ; i++ {
+			w, ok := it.Next()
+			if !ok {
+				break
+			}
 			if w < 0 || int(w) >= n {
 				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, w)
 			}
-			if i > 0 && nbr[i-1] > w {
+			if i > 0 && prev > w {
 				return fmt.Errorf("graph: adjacency of vertex %d not sorted", v)
 			}
+			prev = w
 		}
 	}
 	if !g.directed {
@@ -177,7 +225,20 @@ func (g *Graph) MemoryFootprint() int64 {
 	bytes := int64(len(g.rowPtr)) * 8
 	bytes += int64(len(g.adj)) * 4
 	bytes += int64(len(g.weights)) * 4
+	if g.compact != nil {
+		bytes += int64(len(g.compact.offs))*8 + int64(len(g.compact.data))
+	}
 	return bytes
+}
+
+// AdjBytes returns the bytes spent on neighbor-id storage alone (the part
+// Compact shrinks): 4 per arc raw, the varint stream plus byte offsets when
+// compact. cmd/bench reports it so compression claims are auditable.
+func (g *Graph) AdjBytes() int64 {
+	if g.compact != nil {
+		return int64(len(g.compact.offs))*8 + int64(len(g.compact.data))
+	}
+	return int64(len(g.adj)) * 4
 }
 
 // String summarizes the graph for logs.

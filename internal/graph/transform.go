@@ -20,11 +20,20 @@ func (g *Graph) Undirected() *Graph {
 		g.undirectedBuilds.Add(1)
 		edges := make([]Edge, 0, g.NumArcs())
 		for v := 0; v < g.NumVertices(); v++ {
-			for _, w := range g.Neighbors(int32(v)) {
+			for it := g.NeighborIter(int32(v)); ; {
+				w, ok := it.Next()
+				if !ok {
+					break
+				}
 				edges = append(edges, Edge{int32(v), w})
 			}
 		}
 		g.undirected, _ = FromEdges(g.NumVertices(), edges, Options{KeepSelfLoops: true})
+		if g.compact != nil {
+			// A compact directed graph gets a compact undirected view, so
+			// kernels that symmetrize first keep the small working set.
+			g.undirected = g.undirected.Compact()
+		}
 	})
 	return g.undirected
 }

@@ -139,6 +139,16 @@ var staticChecks = map[string]func(args []string) error{
 	"clustering": nil,
 	"undirected": nil,
 	"reciprocal": nil,
+	"reorder": func(args []string) error {
+		if len(args) != 1 {
+			return parseErrf("usage: reorder degree|bfs")
+		}
+		switch strings.ToLower(args[0]) {
+		case "degree", "bfs":
+			return nil
+		}
+		return parseErrf("unknown reorder %q (want degree or bfs)", args[0])
+	},
 	"bfs": func(args []string) error {
 		if len(args) != 2 {
 			return parseErrf("usage: bfs SOURCE DEPTH")

@@ -22,6 +22,7 @@ import (
 	"graphct/internal/blob"
 	"graphct/internal/core"
 	"graphct/internal/dimacs"
+	"graphct/internal/graph"
 	"graphct/internal/rank"
 	"graphct/internal/sssp"
 	"graphct/internal/stats"
@@ -154,6 +155,8 @@ func (in *Interp) Exec(line string) error {
 	case "reciprocal":
 		in.tk.ReciprocalCore()
 		return nil
+	case "reorder":
+		return in.cmdReorder(args)
 	case "bfs":
 		return in.cmdBFS(args)
 	case "compare":
@@ -429,6 +432,26 @@ func (in *Interp) cmdKCentrality(args []string, redirect string) error {
 	for i, v := range top {
 		fmt.Fprintf(in.out, "%2d. vertex %d score %.2f\n", i+1, in.tk.OrigID(v), res.Scores[v])
 	}
+	return nil
+}
+
+// cmdReorder relabels the current graph for cache locality. Vertex ids in
+// later per-vertex output still refer to the loaded graph (the toolkit
+// composes the inverse permutation into its orig-id mapping), so the
+// command changes kernel speed, not kernel answers.
+func (in *Interp) cmdReorder(args []string) error {
+	if len(args) != 1 {
+		return parseErrf("usage: reorder degree|bfs")
+	}
+	kind, err := graph.ParseReorder(strings.ToLower(args[0]))
+	if err != nil || kind == graph.ReorderNone {
+		return parseErrf("unknown reorder %q (want degree or bfs)", args[0])
+	}
+	if err := in.tk.Reorder(kind); err != nil {
+		return err
+	}
+	g := in.tk.Graph()
+	fmt.Fprintf(in.out, "reordered %s: %d vertices, %d edges\n", kind, g.NumVertices(), g.NumEdges())
 	return nil
 }
 

@@ -609,3 +609,34 @@ func TestRunFileErrorProvenance(t *testing.T) {
 		t.Fatalf("annotation = %+v", se)
 	}
 }
+
+// TestReorderCommand relabels for cache locality mid-script and checks
+// per-vertex output still reports the loaded graph's ids: the path middle
+// (vertex 5 in the file) is the only positive-betweenness vertex.
+func TestReorderCommand(t *testing.T) {
+	dir := t.TempDir()
+	writeTestGraph(t, dir)
+	out, err := run(t, dir, "read dimacs test.dimacs\nreorder degree\nkcentrality 0 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "reordered degree: 7 vertices, 8 edges") {
+		t.Fatalf("reorder output: %s", out)
+	}
+	if !strings.Contains(out, " 1. vertex 5 ") {
+		t.Fatalf("top vertex not translated to the loaded id: %s", out)
+	}
+}
+
+// TestReorderCommandRejectsBadArgs pins the usage error for missing and
+// unknown permutation kinds.
+func TestReorderCommandRejectsBadArgs(t *testing.T) {
+	dir := t.TempDir()
+	writeTestGraph(t, dir)
+	if _, err := run(t, dir, "read dimacs test.dimacs\nreorder\n"); err == nil || !strings.Contains(err.Error(), "usage: reorder") {
+		t.Errorf("missing kind: err = %v, want usage error", err)
+	}
+	if _, err := run(t, dir, "read dimacs test.dimacs\nreorder hilbert\n"); err == nil || !strings.Contains(err.Error(), "unknown reorder") {
+		t.Errorf("unknown kind: err = %v, want unknown-reorder error", err)
+	}
+}

@@ -72,7 +72,7 @@ func (r *Registry) AddLive(name string, n int) (*GraphEntry, error) {
 		return nil, fmt.Errorf("live graph needs a positive vertex count, got %d", n)
 	}
 	live := &Live{st: stream.New(n)}
-	return r.addEntry(name, live.st.Snapshot(), live), nil
+	return r.addEntry(name, live.st.Snapshot(), live, nil), nil
 }
 
 // ingestUpdate is the JSON wire form of one update.
@@ -314,7 +314,7 @@ func (s *Server) publishSnapshot(name string, live *Live) (uint64, bool) {
 	}
 	start := time.Now()
 	g := live.st.Snapshot()
-	ne := s.reg.addEntry(name, g, live)
+	ne := s.reg.addEntry(name, g, live, nil)
 	s.metrics.Snapshots.Add(1)
 	s.metrics.ObserveLatency("snapshot", time.Since(start))
 	if live.wal != nil {

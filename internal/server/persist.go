@@ -381,7 +381,7 @@ func (s *Server) recoverGraph(name string) error {
 
 	// Publish the recovered state at a fresh epoch and make it the new
 	// durable baseline.
-	e := s.reg.addEntry(name, st.Snapshot(), live)
+	e := s.reg.addEntry(name, st.Snapshot(), live, nil)
 	for i := range dedup {
 		dedup[i].res.Epoch = e.Epoch
 		live.remember(dedup[i].id, dedup[i].res)

@@ -41,6 +41,34 @@ type GraphEntry struct {
 	Epoch uint64
 	Graph *graph.Graph
 	Live  *Live // nil for static graphs
+
+	// Orig maps the graph's internal vertex ids back to the ids clients
+	// know (Orig[internal] = external); nil means identity. Load-time
+	// reordering relabels vertices for cache locality, and the API
+	// boundary translates both directions so clients never see internal
+	// labels: inbound vertex params go through ToInternal, per-vertex
+	// results go through ToExternal.
+	Orig []int32
+	// perm is the eager inverse of Orig (perm[external] = internal),
+	// built once at publish time for O(1) inbound translation.
+	perm []int32
+}
+
+// ToExternal translates an internal vertex id to the client-visible id.
+func (e *GraphEntry) ToExternal(v int32) int32 {
+	if e.Orig == nil {
+		return v
+	}
+	return e.Orig[v]
+}
+
+// ToInternal translates a client-supplied vertex id to the internal label.
+// The caller has already range-checked v against the vertex count.
+func (e *GraphEntry) ToInternal(v int32) int32 {
+	if e.perm == nil {
+		return v
+	}
+	return e.perm[v]
 }
 
 // Undirected returns the entry's memoized undirected view. The memo lives
@@ -59,6 +87,11 @@ func (e *GraphEntry) Undirected() *graph.Graph {
 type Registry struct {
 	mu sync.RWMutex
 	m  map[string]*GraphEntry
+
+	// Layout is applied to every graph loaded from a file (Load). Live
+	// graphs are exempt: IncrementalCSR mutates rows in place, so they
+	// stay raw and in ingest order.
+	Layout graph.Layout
 }
 
 // NewRegistry returns an empty registry.
@@ -70,19 +103,51 @@ func NewRegistry() *Registry {
 // the epoch (which orphans stale cache entries). Publishing a static
 // graph over a live name drops the live stream.
 func (r *Registry) Add(name string, g *graph.Graph) *GraphEntry {
-	return r.addEntry(name, g, nil)
+	return r.AddWithOrig(name, g, nil)
 }
 
-func (r *Registry) addEntry(name string, g *graph.Graph, live *Live) *GraphEntry {
-	e := &GraphEntry{Name: name, Epoch: epochCounter.Add(1), Graph: g, Live: live}
+// AddWithOrig publishes g with an internal→external id mapping (nil for
+// identity). Derived graphs (extractions) use it to compose their id
+// mapping with their parent's.
+func (r *Registry) AddWithOrig(name string, g *graph.Graph, orig []int32) *GraphEntry {
+	return r.addEntry(name, g, nil, orig)
+}
+
+func (r *Registry) addEntry(name string, g *graph.Graph, live *Live, orig []int32) *GraphEntry {
+	e := &GraphEntry{Name: name, Epoch: epochCounter.Add(1), Graph: g, Live: live, Orig: orig}
+	// Inbound translation needs the inverse, which only exists when Orig
+	// permutes the entry's own id space (a reordered load). A derived
+	// entry maps into its parent's larger space: clients address it by its
+	// dense ids and Orig translates outputs only.
+	if isPerm(orig) {
+		e.perm = graph.InversePerm(orig)
+	}
 	r.mu.Lock()
 	r.m[name] = e
 	r.mu.Unlock()
 	return e
 }
 
+// isPerm reports whether orig is a permutation of [0, len(orig)).
+func isPerm(orig []int32) bool {
+	if orig == nil {
+		return false
+	}
+	seen := make([]bool, len(orig))
+	for _, v := range orig {
+		if v < 0 || int(v) >= len(orig) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
 // Load reads a graph file in the given format ("dimacs", "edgelist" or
-// "binary") and publishes it under name.
+// "binary"), applies the registry's memory layout (reordering and/or
+// adjacency compression), and publishes it under name. When the layout
+// relabels, the entry carries the id translation so the relabeling stays
+// invisible at the API.
 func (r *Registry) Load(name, format, path string, directed bool) (*GraphEntry, error) {
 	var g *graph.Graph
 	var err error
@@ -99,7 +164,11 @@ func (r *Registry) Load(name, format, path string, directed bool) (*GraphEntry, 
 	if err != nil {
 		return nil, err
 	}
-	return r.Add(name, g), nil
+	g, inv, err := r.Layout.Apply(g)
+	if err != nil {
+		return nil, err
+	}
+	return r.AddWithOrig(name, g, inv), nil
 }
 
 // Get resolves a name; ok is false when no graph is registered under it.

@@ -343,7 +343,19 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	ne := s.reg.Add(req.As, tk.Graph())
+	// The derived entry keeps an id trail to the loaded graph: the
+	// toolkit's orig ids point into the parent's internal labels, which
+	// the parent's own translation lifts to client-visible ids.
+	var orig []int32
+	if sub := tk.OrigIDs(); sub != nil {
+		orig = make([]int32, len(sub))
+		for i, v := range sub {
+			orig[i] = e.ToExternal(v)
+		}
+	} else if e.Orig != nil {
+		orig = e.Orig
+	}
+	ne := s.reg.AddWithOrig(req.As, tk.Graph(), orig)
 	writeJSON(w, http.StatusCreated, entryInfo(ne))
 }
 
@@ -441,7 +453,9 @@ func (s *Server) parseKernel(kernel string, e *GraphEntry, q url.Values) (string
 			}
 			ranked := make([]scored, 0, top)
 			for _, v := range res.TopK(top) {
-				ranked = append(ranked, scored{Vertex: v, Score: res.Scores[v]})
+				// Translate to client-visible ids: a reorder-relabeled
+				// graph must never leak internal labels.
+				ranked = append(ranked, scored{Vertex: e.ToExternal(v), Score: res.Scores[v]})
 			}
 			return map[string]any{"k": k, "sources": len(res.Sources), "top": ranked}, nil
 		}, nil
@@ -455,7 +469,8 @@ func (s *Server) parseKernel(kernel string, e *GraphEntry, q url.Values) (string
 			return "", nil, fmt.Errorf("bad depth %q", q.Get("depth"))
 		}
 		return fmt.Sprintf("depth=%d&src=%d", depth, src), func(ctx context.Context) (any, error) {
-			res := tk().BFS(src, depth)
+			// src is the client's id; the kernel runs on internal labels.
+			res := tk().BFS(e.ToInternal(src), depth)
 			return map[string]any{"src": src, "reached": res.NumReached(), "depth": res.Depth}, nil
 		}, nil
 	case "sssp":
@@ -464,7 +479,7 @@ func (s *Server) parseKernel(kernel string, e *GraphEntry, q url.Values) (string
 			return "", nil, err
 		}
 		return fmt.Sprintf("src=%d", src), func(ctx context.Context) (any, error) {
-			res, err := tk().SSSPCtx(ctx, src)
+			res, err := tk().SSSPCtx(ctx, e.ToInternal(src))
 			if err != nil {
 				return nil, err
 			}

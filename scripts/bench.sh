@@ -1,11 +1,20 @@
 #!/usr/bin/env sh
-# Reproducible kernel benchmark harness: runs cmd/bench with its fixed
-# default seeds and writes BENCH_PR2.json at the repo root, so the perf
-# trajectory of the betweenness kernels is comparable across PRs and
-# machines. Pass cmd/bench flags through, e.g.:
+# Reproducible memory-layout ablation harness: runs cmd/bench with the
+# committed report's exact configuration (R-MAT scale 16, seed 1, 32
+# sampled sources, GOMAXPROCS=4, k=1, best-of-3 reps) and refreshes
+# BENCH_PR7.json at the repo root, printing the ablation table —
+# baseline / reorder / reorder+compact / reorder+compact+arena / default —
+# to stdout. Re-running on the same hardware reproduces the committed
+# numbers; pass cmd/bench flags to override, e.g.:
 #
 #   scripts/bench.sh                    # scale-16 acceptance run
-#   scripts/bench.sh -scale 14 -out -   # quicker, print to stdout
+#   scripts/bench.sh -scale 14 -out -   # quicker, print JSON to stdout
+#   scripts/bench.sh -k 0               # skip the slow k-betweenness rows
+#
+# Explicit flags repeat cmd/bench's defaults so the pinned configuration
+# is visible here and stays fixed even if the tool's defaults move.
 set -eu
 cd "$(dirname "$0")/.."
-exec go run ./cmd/bench "$@"
+exec go run ./cmd/bench \
+	-scale 16 -samples 32 -seed 1 -procs 4 -k 1 -reps 3 \
+	-reorder degree -out BENCH_PR7.json "$@"
