@@ -51,6 +51,17 @@
 // /readyz meanwhile. -retain-epochs bounds the snapshot history, which
 // kernel endpoints can address with ?epoch=E for point-in-time reads.
 //
+// QoS: -cheap-reserved N enables priority lanes in the kernel admission
+// pool — cheap kernels (stats, degrees, components, clustering, kcores,
+// bfs, sssp) keep N reserved slots that expensive kernels (kcentrality,
+// diameter) can never occupy, and each class queues separately, so cheap
+// reads never wait behind a centrality run; every kernel response names
+// its lane in X-Graphct-Class. -client-rate R [-client-burst B] adds
+// per-client token-bucket rate limiting keyed on the X-Graphct-Client
+// request header (429 + Retry-After when a bucket drains), and
+// -cache-max-entry bounds cost-aware cache admission so one giant result
+// cannot evict hundreds of cheap entries.
+//
 // Failure handling: kernel panics are isolated per request (500 +
 // kernel_panics metric, the daemon keeps serving); a (graph, kernel)
 // pair that fails -breaker-threshold times in a row trips a circuit
@@ -92,8 +103,12 @@ func (g *graphFlags) Set(s string) error { *g = append(*g, s); return nil }
 func main() {
 	addr := flag.String("addr", ":8423", "listen address")
 	maxConcurrent := flag.Int("max-concurrent", 2, "kernels executing at once")
-	maxQueued := flag.Int("max-queued", 16, "kernel requests waiting for a slot before 429")
+	maxQueued := flag.Int("max-queued", 16, "kernel requests waiting for a slot before 429 (per lane with -cheap-reserved)")
+	cheapReserved := flag.Int("cheap-reserved", 0, "QoS lanes: kernel slots reserved for cheap-class requests so stats never queue behind centrality (0 disables lanes)")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result cache bound in bytes (<0 disables)")
+	cacheMaxEntry := flag.Int64("cache-max-entry", 0, "cost-aware cache admission: results larger than this are never cached (0 = cache-bytes/8, <0 unbounded)")
+	clientRate := flag.Float64("client-rate", 0, "per-client kernel requests/s keyed on X-Graphct-Client; excess gets 429 + Retry-After (0 disables)")
+	clientBurst := flag.Int("client-burst", 0, "per-client token-bucket burst capacity (0 = 2x -client-rate)")
 	timeout := flag.Duration("timeout", 0, "default per-request kernel deadline (0 = none)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight kernels")
 	seed := flag.Int64("seed", 1, "random seed for sampling kernels")
@@ -139,7 +154,11 @@ func main() {
 	srv := server.New(reg, server.Config{
 		MaxConcurrent:    *maxConcurrent,
 		MaxQueued:        *maxQueued,
+		CheapReserved:    *cheapReserved,
 		CacheBytes:       *cacheBytes,
+		CacheMaxEntry:    *cacheMaxEntry,
+		ClientRate:       *clientRate,
+		ClientBurst:      *clientBurst,
 		DefaultTimeout:   *timeout,
 		Seed:             *seed,
 		IngestConcurrent: *ingestConcurrent,

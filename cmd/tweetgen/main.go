@@ -13,7 +13,10 @@
 // order to graphctd's ingest endpoint in timestamped batches, creating
 // the target live graph first. The daemon maintains clustering
 // coefficients incrementally and publishes epoch snapshots as the batches
-// accumulate, so kernels can be queried while the replay runs.
+// accumulate, so kernels can be queried while the replay runs. The whole
+// session is deterministic from -seed — batch boundaries, batch IDs and
+// even retry jitter — so two runs with the same seed emit identical
+// batches and soak/load runs reproduce.
 package main
 
 import (
@@ -22,14 +25,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"math/rand"
 	"net/http"
-	neturl "net/url"
 	"os"
 	"time"
 
 	"graphct/internal/dimacs"
+	"graphct/internal/load"
 	"graphct/internal/stream"
 	"graphct/internal/tweets"
 )
@@ -37,7 +39,7 @@ import (
 func main() {
 	preset := flag.String("preset", "", "corpus preset: h1n1, atlflood, sept1 (empty = custom)")
 	scale := flag.Float64("scale", 0.25, "preset size multiplier (1.0 = paper size)")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := flag.Int64("seed", 1, "random seed (drives the corpus and, in -stream mode, the batch plan: same seed, identical batches)")
 	format := flag.String("format", "tweets", "output: tweets | dimacs | stats")
 	users := flag.Int("users", 1000, "custom corpus: user pool size")
 	hubs := flag.Int("hubs", 10, "custom corpus: broadcast hubs")
@@ -73,7 +75,7 @@ func main() {
 		ts = tweets.FilterSpam(ts, 0)
 	}
 	if *streamURL != "" {
-		if err := replay(*streamURL, *name, ts, *batchSize, !*useJSON); err != nil {
+		if err := replay(*streamURL, *name, ts, *batchSize, !*useJSON, *seed); err != nil {
 			fatal(err)
 		}
 		return
@@ -102,13 +104,21 @@ func main() {
 	}
 }
 
-// replay drives a live graphctd ingest session: one intern pass sizes the
-// user universe (ingest validates vertex ids against the live graph's
-// fixed vertex count, so the graph must be created full-size up front),
-// then the mention interactions stream to the ingest endpoint in arrival
-// order. 429 responses — the ingest queue's backpressure — back off and
-// retry rather than dropping updates.
-func replay(base, name string, ts []tweets.Tweet, batchSize int, binary bool) error {
+// plannedBatch is one ingest request of a replay: a stable batch ID and
+// the updates it carries.
+type plannedBatch struct {
+	ID      string
+	Updates []stream.Update
+}
+
+// planBatches turns a corpus into the exact sequence of ingest batches a
+// replay will send. The plan is a pure function of (corpus, batchSize,
+// seed): batch IDs are seed-derived and offset-stable, so two replays
+// with the same seed emit bit-identical batches — which is what makes
+// load runs and the soak tests reproducible, and means a re-run against a
+// daemon that already applied some batches is answered from its
+// idempotency window instead of double-applying.
+func planBatches(ts []tweets.Tweet, batchSize int, seed int64) (vertices int, batches []plannedBatch) {
 	ug := tweets.Build(ts)
 	var ups []stream.Update
 	for _, t := range ts {
@@ -121,7 +131,29 @@ func replay(base, name string, ts []tweets.Tweet, batchSize int, binary bool) er
 			ups = append(ups, stream.Update{U: author, V: target, Time: t.ID})
 		}
 	}
-	n := ug.Graph.NumVertices()
+	runID := fmt.Sprintf("tweetgen-%d", seed)
+	for lo := 0; lo < len(ups); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(ups) {
+			hi = len(ups)
+		}
+		batches = append(batches, plannedBatch{
+			ID:      fmt.Sprintf("%s/%d", runID, lo),
+			Updates: ups[lo:hi],
+		})
+	}
+	return ug.Graph.NumVertices(), batches
+}
+
+// replay drives a live graphctd ingest session: one intern pass sizes the
+// user universe (ingest validates vertex ids against the live graph's
+// fixed vertex count, so the graph must be created full-size up front),
+// then the mention interactions stream to the ingest endpoint in arrival
+// order. 429 responses — the ingest queue's backpressure — back off and
+// retry rather than dropping updates. Everything about the session,
+// batch boundaries and IDs included, is deterministic from -seed.
+func replay(base, name string, ts []tweets.Tweet, batchSize int, binary bool, seed int64) error {
+	n, plan := planBatches(ts, batchSize, seed)
 	if n == 0 {
 		return fmt.Errorf("corpus has no users to stream")
 	}
@@ -131,26 +163,18 @@ func replay(base, name string, ts []tweets.Tweet, batchSize int, binary bool) er
 	if err != nil {
 		return err
 	}
-	if err := drain(resp, http.StatusCreated); err != nil {
+	if err := load.Drain(resp, http.StatusCreated); err != nil {
 		return fmt.Errorf("create live graph %q: %w", name, err)
 	}
 
-	// Batch IDs make retries idempotent: the run ID is unique per replay
-	// (so a re-run is not deduped against a previous one) and the batch
-	// offset is stable within it, so a batch retried after a 5xx — which
-	// the server may or may not have applied before failing — is answered
-	// from the server's idempotency window instead of double-applying.
-	runID := fmt.Sprintf("tweetgen-%d-%d", os.Getpid(), time.Now().UnixNano())
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	// Only the backoff jitter draws from this RNG, and even it is seeded:
+	// a replay's retry schedule is as reproducible as its batches.
+	rng := rand.New(rand.NewSource(seed))
 
 	start := time.Now()
 	sent, batches, snapshots := 0, 0, 0
-	for lo := 0; lo < len(ups); lo += batchSize {
-		hi := lo + batchSize
-		if hi > len(ups) {
-			hi = len(ups)
-		}
-		res, err := postBatch(base, name, fmt.Sprintf("%s/%d", runID, lo), ups[lo:hi], binary, rng)
+	for _, pb := range plan {
+		res, err := load.PostBatch(base, name, pb.ID, pb.Updates, binary, rng)
 		if err != nil {
 			return err
 		}
@@ -163,13 +187,13 @@ func replay(base, name string, ts []tweets.Tweet, batchSize int, binary bool) er
 	// Flush so every streamed interaction is visible to the next kernel.
 	// The forced snapshot retries like a batch: under injected faults the
 	// daemon may defer publication with a 503.
-	if err := withRetry(rng, func() (int, error) {
+	if err := load.WithRetry(rng, func() (int, error) {
 		resp, err := http.Post(base+"/graphs/"+name+"/snapshot", "application/json", nil)
 		if err != nil {
 			return 0, err
 		}
 		code := resp.StatusCode
-		if err := drain(resp, http.StatusOK); err != nil && !retryableStatus(code) {
+		if err := load.Drain(resp, http.StatusOK); err != nil && !load.RetryableStatus(code) {
 			return code, fmt.Errorf("snapshot %q: %w", name, err)
 		}
 		return code, nil
@@ -181,114 +205,6 @@ func replay(base, name string, ts []tweets.Tweet, batchSize int, binary bool) er
 		sent, batches, snapshots, elapsed.Round(time.Millisecond),
 		float64(sent)/elapsed.Seconds())
 	return nil
-}
-
-type ingestReply struct {
-	Accepted    int    `json:"accepted"`
-	Edges       int64  `json:"edges"`
-	Epoch       uint64 `json:"epoch"`
-	Snapshotted bool   `json:"snapshotted"`
-}
-
-// retryableStatus reports whether a response warrants a retry: 429 is
-// backpressure, 5xx is a transient server failure (the batch ID makes
-// the retry idempotent either way).
-func retryableStatus(code int) bool {
-	return code == http.StatusTooManyRequests || code >= 500
-}
-
-// maxAttempts bounds retries of server failures; backpressure (429)
-// retries indefinitely — the server is healthy, just busy.
-const maxAttempts = 10
-
-// withRetry runs send until it returns a non-retryable status, applying
-// jittered exponential backoff (10ms doubling to a 1s cap, ±50% jitter
-// so synchronized clients do not re-converge on the same instant).
-func withRetry(rng *rand.Rand, send func() (int, error)) error {
-	backoff := 10 * time.Millisecond
-	for attempt := 1; ; attempt++ {
-		code, err := send()
-		if err != nil {
-			return err
-		}
-		if !retryableStatus(code) {
-			return nil
-		}
-		if code >= 500 && attempt >= maxAttempts {
-			return fmt.Errorf("giving up after %d attempts (last status %d)", attempt, code)
-		}
-		jitter := 0.5 + rng.Float64() // uniform in [0.5, 1.5)
-		time.Sleep(time.Duration(float64(backoff) * jitter))
-		if backoff < time.Second {
-			backoff *= 2
-		}
-	}
-}
-
-// postBatch sends one batch under a client-assigned batch ID, retrying
-// 429 (backpressure) and 5xx (server failure) with jittered exponential
-// backoff. The ID lets the server dedupe a retry of a batch it actually
-// applied before the failure, so retries never double-apply.
-func postBatch(base, name, batchID string, batch []stream.Update, binary bool, rng *rand.Rand) (ingestReply, error) {
-	var buf bytes.Buffer
-	contentType := "application/json"
-	if binary {
-		contentType = stream.WireContentType
-		if err := stream.EncodeUpdates(&buf, batch); err != nil {
-			return ingestReply{}, err
-		}
-	} else {
-		type ju struct {
-			U    int32 `json:"u"`
-			V    int32 `json:"v"`
-			Time int64 `json:"time,omitempty"`
-			Del  bool  `json:"del,omitempty"`
-		}
-		out := make([]ju, len(batch))
-		for i, up := range batch {
-			out[i] = ju{U: up.U, V: up.V, Time: up.Time, Del: up.Del}
-		}
-		if err := json.NewEncoder(&buf).Encode(out); err != nil {
-			return ingestReply{}, err
-		}
-	}
-	url := base + "/graphs/" + name + "/ingest?batch_id=" + neturl.QueryEscape(batchID)
-	var rep ingestReply
-	err := withRetry(rng, func() (int, error) {
-		resp, err := http.Post(url, contentType, bytes.NewReader(buf.Bytes()))
-		if err != nil {
-			return 0, err
-		}
-		if resp.StatusCode != http.StatusOK {
-			code := resp.StatusCode
-			err := drain(resp, http.StatusOK)
-			if retryableStatus(code) {
-				return code, nil
-			}
-			return code, fmt.Errorf("ingest: %w", err)
-		}
-		err = json.NewDecoder(resp.Body).Decode(&rep)
-		drainBody(resp)
-		return http.StatusOK, err
-	})
-	return rep, err
-}
-
-func drain(resp *http.Response, want int) error {
-	defer drainBody(resp)
-	if resp.StatusCode == want {
-		return nil
-	}
-	var e struct {
-		Error string `json:"error"`
-	}
-	_ = json.NewDecoder(resp.Body).Decode(&e)
-	return fmt.Errorf("HTTP %d: %s", resp.StatusCode, e.Error)
-}
-
-func drainBody(resp *http.Response) {
-	_, _ = io.Copy(io.Discard, resp.Body)
-	_ = resp.Body.Close()
 }
 
 func fatal(v any) {

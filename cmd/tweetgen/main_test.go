@@ -1,0 +1,67 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"graphct/internal/tweets"
+)
+
+// TestPlanBatchesDeterministic pins the -stream reproducibility contract:
+// two replays of the same corpus with the same seed plan bit-identical
+// batch sequences — same boundaries, same batch IDs, same updates — so
+// load runs and soak tests replay exactly, and a re-run against a daemon
+// that already applied a prefix is answered from its idempotency window.
+func TestPlanBatchesDeterministic(t *testing.T) {
+	gen := func(seed int64) (int, []plannedBatch) {
+		return planBatches(tweets.Generate(tweets.H1N1Corpus(0.05, seed)), 128, seed)
+	}
+	n1, plan1 := gen(42)
+	n2, plan2 := gen(42)
+	if n1 == 0 || len(plan1) == 0 {
+		t.Fatalf("empty plan: %d vertices, %d batches", n1, len(plan1))
+	}
+	if n1 != n2 || len(plan1) != len(plan2) {
+		t.Fatalf("same seed, different shape: (%d, %d) vs (%d, %d)", n1, len(plan1), n2, len(plan2))
+	}
+	for i := range plan1 {
+		if plan1[i].ID != plan2[i].ID {
+			t.Fatalf("batch %d: ID %q vs %q", i, plan1[i].ID, plan2[i].ID)
+		}
+		if !reflect.DeepEqual(plan1[i].Updates, plan2[i].Updates) {
+			t.Fatalf("batch %d (%s): updates differ between identically seeded runs", i, plan1[i].ID)
+		}
+	}
+
+	// A different seed names a different run: batch IDs must not collide,
+	// or the server's idempotency window would wrongly dedup a new run's
+	// batches against an old one's.
+	_, plan3 := gen(43)
+	if len(plan3) > 0 && plan3[0].ID == plan1[0].ID {
+		t.Fatalf("different seeds share batch ID %q", plan3[0].ID)
+	}
+}
+
+// TestPlanBatchesBoundaries checks the plan covers every mention-graph
+// update exactly once in arrival order, whatever the batch size.
+func TestPlanBatchesBoundaries(t *testing.T) {
+	ts := tweets.Generate(tweets.H1N1Corpus(0.05, 7))
+	_, whole := planBatches(ts, 1<<30, 7)
+	var total int
+	for _, pb := range whole {
+		total += len(pb.Updates)
+	}
+	for _, size := range []int{1, 17, 128} {
+		_, plan := planBatches(ts, size, 7)
+		got := 0
+		for i, pb := range plan {
+			if len(pb.Updates) == 0 || (len(pb.Updates) > size) {
+				t.Fatalf("size %d: batch %d has %d updates", size, i, len(pb.Updates))
+			}
+			got += len(pb.Updates)
+		}
+		if got != total {
+			t.Fatalf("size %d: planned %d updates, corpus has %d", size, got, total)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphct/internal/testutil"
+)
+
+func TestRunClosedLoop(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	var calls atomic.Int64
+	op := func(ctx context.Context) (int, error) {
+		calls.Add(1)
+		time.Sleep(time.Millisecond)
+		return 200, nil
+	}
+	reports := Run(context.Background(), []Class{
+		{Name: "read", Do: op, Workers: 3},
+	}, Options{Duration: 300 * time.Millisecond})
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	r := reports[0]
+	if r.Mode != "closed" || r.Name != "read" {
+		t.Fatalf("mode %q name %q", r.Mode, r.Name)
+	}
+	if r.Requests == 0 {
+		t.Fatal("closed loop measured no requests")
+	}
+	if r.Status["200"] != r.Requests {
+		t.Fatalf("status map %v does not account for %d requests", r.Status, r.Requests)
+	}
+	if r.Requests > calls.Load() {
+		t.Fatalf("measured %d requests but op ran %d times", r.Requests, calls.Load())
+	}
+	if r.P50Ms > r.P95Ms || r.P95Ms > r.P99Ms || r.P99Ms > r.MaxMs {
+		t.Fatalf("quantiles not monotone: %+v", r)
+	}
+	if r.AchievedQPS <= 0 {
+		t.Fatalf("achieved qps %v", r.AchievedQPS)
+	}
+}
+
+func TestRunOpenLoopPaces(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	op := func(ctx context.Context) (int, error) { return 200, nil }
+	reports := Run(context.Background(), []Class{
+		{Name: "open", Do: op, QPS: 200},
+	}, Options{Duration: 500 * time.Millisecond})
+	r := reports[0]
+	if r.Mode != "open" || r.OfferedQPS != 200 {
+		t.Fatalf("mode %q offered %v", r.Mode, r.OfferedQPS)
+	}
+	if r.Requests == 0 {
+		t.Fatal("open loop measured no requests")
+	}
+	// Pacing is a ticker, not a busy loop: an instant op must not complete
+	// wildly more requests than the offered rate allows.
+	if max := int64(2 * 200 * 0.5); r.Requests > max {
+		t.Fatalf("measured %d requests, offered rate allows ~%d", r.Requests, max)
+	}
+}
+
+// TestRunWarmupDiscard proves warmup samples never reach the report: the
+// op fails loudly during warmup and succeeds after, and the measured
+// status mix must contain only the post-warmup statuses.
+func TestRunWarmupDiscard(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	warmup := 150 * time.Millisecond
+	boundary := time.Now().Add(warmup)
+	op := func(ctx context.Context) (int, error) {
+		if time.Now().Before(boundary) {
+			return 500, nil
+		}
+		return 200, nil
+	}
+	reports := Run(context.Background(), []Class{
+		{Name: "warm", Do: op, Workers: 2},
+	}, Options{Duration: 200 * time.Millisecond, Warmup: warmup})
+	r := reports[0]
+	if r.Requests == 0 {
+		t.Fatal("no measured requests")
+	}
+	if n := r.Status["500"]; n != 0 {
+		t.Fatalf("%d warmup-era samples leaked into the report: %v", n, r.Status)
+	}
+}
+
+func TestRunHonorsCancel(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	op := func(ctx context.Context) (int, error) {
+		<-ctx.Done()
+		return 0, ctx.Err()
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	Run(ctx, []Class{
+		{Name: "stuck", Do: op, Workers: 4},
+		{Name: "paced", Do: op, QPS: 100},
+	}, Options{Duration: 10 * time.Second})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Run held cancelled workload for %v", elapsed)
+	}
+}
+
+// TestRunInflightCap: when the server stops answering, an open-loop class
+// stops spawning at its in-flight cap and counts further arrivals as
+// missed instead of hoarding goroutines.
+func TestRunInflightCap(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	var inflight, peak atomic.Int64
+	op := func(ctx context.Context) (int, error) {
+		n := inflight.Add(1)
+		defer inflight.Add(-1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		<-ctx.Done()
+		return 0, ctx.Err()
+	}
+	reports := Run(context.Background(), []Class{
+		{Name: "stalled", Do: op, QPS: 1000, Workers: 4}, // Workers = in-flight cap for open loop
+	}, Options{Duration: 300 * time.Millisecond})
+	r := reports[0]
+	if p := peak.Load(); p > 4 {
+		t.Fatalf("in-flight peaked at %d, cap is 4", p)
+	}
+	if r.Missed == 0 {
+		t.Fatal("stalled server produced no missed arrivals")
+	}
+	// Every in-flight request died with the context: transport errors, not
+	// statuses — and errors land in the denominator of Rate.
+	if r.Requests != 0 {
+		t.Fatalf("stalled ops measured %d completed requests", r.Requests)
+	}
+}
+
+func TestRunRecordsErrors(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	fail := errors.New("connection refused")
+	op := func(ctx context.Context) (int, error) { return 0, fail }
+	reports := Run(context.Background(), []Class{
+		{Name: "down", Do: op, Workers: 1},
+	}, Options{Duration: 100 * time.Millisecond})
+	r := reports[0]
+	if r.Errors == 0 {
+		t.Fatal("transport failures not counted")
+	}
+	if r.Requests != 0 {
+		t.Fatalf("failures counted as completed requests: %d", r.Requests)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{{0.5, 5}, {0.95, 10}, {0.99, 10}, {0.1, 1}}
+	for _, c := range cases {
+		if got := quantile(sorted, c.q); got != c.want {
+			t.Errorf("quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("quantile of empty = %v", got)
+	}
+	if got := quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("quantile of singleton = %v", got)
+	}
+}
+
+func TestRate(t *testing.T) {
+	c := ClassReport{Requests: 8, Errors: 2, Status: map[string]int64{"200": 6, "429": 2}}
+	if got := c.Rate("429"); got != 0.2 {
+		t.Fatalf("Rate(429) = %v, want 0.2 (errors count in the denominator)", got)
+	}
+	var empty ClassReport
+	if got := empty.Rate("200"); got != 0 {
+		t.Fatalf("Rate on empty report = %v", got)
+	}
+}

@@ -1,0 +1,111 @@
+package load
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"graphct/internal/stream"
+)
+
+// Target names the daemon a workload class talks to. Client, when set,
+// travels as the X-Graphct-Client header so per-client rate limits and
+// the class attribution in graphctd's metrics see distinct callers.
+type Target struct {
+	Base   string // e.g. http://127.0.0.1:8423
+	Graph  string
+	Client string
+	HTTP   *http.Client // nil = http.DefaultClient
+}
+
+func (t Target) client() *http.Client {
+	if t.HTTP != nil {
+		return t.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Kernel returns an Op issuing GET /graphs/{graph}/{kernel}?{params()}.
+// params may be nil for parameterless kernels; otherwise it is called
+// once per request (under a lock, so a seeded rand.Rand closure is fine)
+// — varying parameters is how a read class defeats the result cache when
+// the run wants kernel executions rather than cache hits.
+func (t Target) Kernel(kernel string, params func() string) Op {
+	var mu sync.Mutex
+	return func(ctx context.Context) (int, error) {
+		url := t.Base + "/graphs/" + t.Graph + "/" + kernel
+		if params != nil {
+			mu.Lock()
+			p := params()
+			mu.Unlock()
+			if p != "" {
+				url += "?" + p
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return 0, err
+		}
+		if t.Client != "" {
+			req.Header.Set(ClientHeader, t.Client)
+		}
+		resp, err := t.client().Do(req)
+		if err != nil {
+			return 0, err
+		}
+		DrainBody(resp)
+		return resp.StatusCode, nil
+	}
+}
+
+// ClientHeader is the per-client identity header graphctd keys its rate
+// limiter on (mirrors internal/server.ClientHeader without the import).
+const ClientHeader = "X-Graphct-Client"
+
+// Ingest returns an Op posting one GCTU-framed batch per call to the
+// target's live graph. Batches are deterministic from seed: batch i holds
+// batchSize random edges under 2^scaleBits vertices, and its batch ID is
+// runID/i, so a re-run with the same seed and runID offers the identical
+// update stream (and a retried batch is deduped server-side). The Op does
+// NOT retry: the driver measures raw statuses, and a 429 is a sample, not
+// an error to hide.
+func (t Target) Ingest(runID string, vertices, batchSize int, seed int64) Op {
+	var seq atomic.Int64
+	return func(ctx context.Context) (int, error) {
+		i := seq.Add(1) - 1
+		// Per-batch RNG keyed on (seed, i): batches are identical across
+		// runs regardless of interleaving.
+		rng := rand.New(rand.NewSource(seed ^ (i * 0x9e3779b9)))
+		batch := make([]stream.Update, batchSize)
+		for j := range batch {
+			u := int32(rng.Intn(vertices))
+			v := int32(rng.Intn(vertices))
+			if u == v {
+				v = (v + 1) % int32(vertices)
+			}
+			batch[j] = stream.Update{U: u, V: v, Time: i*int64(batchSize) + int64(j)}
+		}
+		buf, contentType, err := EncodeBatch(batch, true)
+		if err != nil {
+			return 0, err
+		}
+		url := t.Base + "/graphs/" + t.Graph + "/ingest?batch_id=" + runID + "%2F" + strconv.FormatInt(i, 10)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, buf)
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", contentType)
+		if t.Client != "" {
+			req.Header.Set(ClientHeader, t.Client)
+		}
+		resp, err := t.client().Do(req)
+		if err != nil {
+			return 0, err
+		}
+		DrainBody(resp)
+		return resp.StatusCode, nil
+	}
+}

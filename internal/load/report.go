@@ -1,0 +1,147 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// Row is one measured configuration in the trajectory: a label (e.g.
+// "lanes_off" / "lanes_on"), the open-loop rate multiplier it ran at
+// (saturation curves are rows at rising multipliers), and the per-class
+// results.
+type Row struct {
+	Config      string        `json:"config"`
+	Multiplier  float64       `json:"multiplier"`
+	DurationSec float64       `json:"duration_sec"`
+	WarmupSec   float64       `json:"warmup_sec"`
+	Classes     []ClassReport `json:"classes"`
+}
+
+// Report is the BENCH_LOAD.json document: run metadata plus one Row per
+// measured configuration, mirroring cmd/bench's BENCH_PRn.json idiom so
+// CI can validate and gate on it the same way.
+type Report struct {
+	Generator  string  `json:"generator"`
+	GoVersion  string  `json:"go_version"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Seed       int64   `json:"seed"`
+	Scale      int     `json:"scale,omitempty"` // self-hosted R-MAT scale (0 = external target)
+	Target     string  `json:"target"`          // "self" or the external base URL
+	Rows       []Row   `json:"rows"`
+}
+
+// Validate is the schema check scripts/bench.sh and -check gate on: it
+// rejects a report whose metadata or rows could not have come from a real
+// run, so a refactor that silently breaks the harness fails the build
+// instead of committing an empty trajectory.
+func (r *Report) Validate() error {
+	if r.Generator == "" || r.GoVersion == "" {
+		return fmt.Errorf("missing generator/go_version metadata")
+	}
+	if r.GoMaxProcs <= 0 {
+		return fmt.Errorf("gomaxprocs %d is not positive", r.GoMaxProcs)
+	}
+	if r.Target == "" {
+		return fmt.Errorf("missing target")
+	}
+	if len(r.Rows) == 0 {
+		return fmt.Errorf("no rows")
+	}
+	for i, row := range r.Rows {
+		if row.Config == "" {
+			return fmt.Errorf("row %d: empty config label", i)
+		}
+		if row.Multiplier <= 0 {
+			return fmt.Errorf("row %d (%s): multiplier %v is not positive", i, row.Config, row.Multiplier)
+		}
+		if row.DurationSec <= 0 {
+			return fmt.Errorf("row %d (%s): duration_sec %v is not positive", i, row.Config, row.DurationSec)
+		}
+		if len(row.Classes) == 0 {
+			return fmt.Errorf("row %d (%s): no classes", i, row.Config)
+		}
+		measured := false
+		for _, c := range row.Classes {
+			if err := validateClass(c); err != nil {
+				return fmt.Errorf("row %d (%s): class %s: %w", i, row.Config, c.Name, err)
+			}
+			if c.Requests > 0 {
+				measured = true
+			}
+		}
+		if !measured {
+			return fmt.Errorf("row %d (%s): every class measured zero requests", i, row.Config)
+		}
+	}
+	return nil
+}
+
+func validateClass(c ClassReport) error {
+	if c.Name == "" {
+		return fmt.Errorf("empty name")
+	}
+	if c.Mode != "open" && c.Mode != "closed" {
+		return fmt.Errorf("mode %q is not open or closed", c.Mode)
+	}
+	if c.Requests < 0 || c.Errors < 0 || c.Missed < 0 {
+		return fmt.Errorf("negative counts")
+	}
+	var counted int64
+	for status, n := range c.Status {
+		if n < 0 {
+			return fmt.Errorf("status %s: negative count", status)
+		}
+		if v, err := strconv.Atoi(status); err != nil || v < 100 || v > 599 {
+			return fmt.Errorf("status key %q is not an HTTP status", status)
+		}
+		counted += n
+	}
+	if counted != c.Requests {
+		return fmt.Errorf("status counts sum to %d, requests say %d", counted, c.Requests)
+	}
+	q := []float64{c.P50Ms, c.P95Ms, c.P99Ms, c.MaxMs}
+	for _, v := range q {
+		if v < 0 {
+			return fmt.Errorf("negative latency quantile")
+		}
+	}
+	if c.Requests > 0 && (c.P50Ms > c.P95Ms || c.P95Ms > c.P99Ms || c.P99Ms > c.MaxMs) {
+		return fmt.Errorf("quantiles not monotone: p50 %v p95 %v p99 %v max %v",
+			c.P50Ms, c.P95Ms, c.P99Ms, c.MaxMs)
+	}
+	return nil
+}
+
+// ReadReport loads and parses (but does not Validate) a report file.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// WriteReport writes the report as indented JSON.
+func (r *Report) WriteReport(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Class returns row's report for the named class, if present.
+func (row *Row) Class(name string) (ClassReport, bool) {
+	for _, c := range row.Classes {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return ClassReport{}, false
+}

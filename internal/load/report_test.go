@@ -1,0 +1,105 @@
+package load
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func goodReport() *Report {
+	return &Report{
+		Generator:  "loadgen -test",
+		GoVersion:  "go1.22",
+		GoMaxProcs: 1,
+		Seed:       1,
+		Target:     "self",
+		Rows: []Row{{
+			Config: "lanes_on", Multiplier: 1, DurationSec: 5, WarmupSec: 1,
+			Classes: []ClassReport{{
+				Name: "stats", Mode: "open", OfferedQPS: 100, AchievedQPS: 99,
+				Requests: 495, Status: map[string]int64{"200": 490, "429": 5},
+				P50Ms: 1, P95Ms: 2, P99Ms: 3, MaxMs: 4,
+			}},
+		}},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := goodReport().Validate(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Report)
+		want string
+	}{
+		{"no metadata", func(r *Report) { r.Generator = "" }, "metadata"},
+		{"bad gomaxprocs", func(r *Report) { r.GoMaxProcs = 0 }, "gomaxprocs"},
+		{"no target", func(r *Report) { r.Target = "" }, "target"},
+		{"no rows", func(r *Report) { r.Rows = nil }, "no rows"},
+		{"empty config", func(r *Report) { r.Rows[0].Config = "" }, "config"},
+		{"zero multiplier", func(r *Report) { r.Rows[0].Multiplier = 0 }, "multiplier"},
+		{"zero duration", func(r *Report) { r.Rows[0].DurationSec = 0 }, "duration"},
+		{"no classes", func(r *Report) { r.Rows[0].Classes = nil }, "no classes"},
+		{"bad mode", func(r *Report) { r.Rows[0].Classes[0].Mode = "laps" }, "mode"},
+		{"bad status key", func(r *Report) {
+			c := &r.Rows[0].Classes[0]
+			delete(c.Status, "429")
+			c.Status["teapot"] = 5
+		}, "status key"},
+		{"status sum mismatch", func(r *Report) { r.Rows[0].Classes[0].Requests = 7 }, "sum"},
+		{"non-monotone quantiles", func(r *Report) { r.Rows[0].Classes[0].P95Ms = 9 }, "monotone"},
+		{"negative latency", func(r *Report) { r.Rows[0].Classes[0].P50Ms = -1 }, "negative"},
+		{"nothing measured", func(r *Report) {
+			c := &r.Rows[0].Classes[0]
+			c.Requests, c.Status = 0, nil
+			c.P50Ms, c.P95Ms, c.P99Ms, c.MaxMs = 0, 0, 0, 0
+		}, "zero requests"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := goodReport()
+			c.mut(r)
+			err := r.Validate()
+			if err == nil {
+				t.Fatal("malformed report validated")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestReportRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_LOAD.json")
+	r := goodReport()
+	if err := r.WriteReport(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("roundtripped report invalid: %v", err)
+	}
+	if got.Rows[0].Config != "lanes_on" || got.Rows[0].Classes[0].Status["200"] != 490 {
+		t.Fatalf("roundtrip lost data: %+v", got.Rows[0])
+	}
+	if _, ok := got.Rows[0].Class("stats"); !ok {
+		t.Fatal("Class lookup failed after roundtrip")
+	}
+	if _, ok := got.Rows[0].Class("absent"); ok {
+		t.Fatal("Class lookup invented a class")
+	}
+}
+
+func TestReadReportMissing(t *testing.T) {
+	if _, err := ReadReport(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+}

@@ -13,6 +13,7 @@ import (
 type Cache struct {
 	mu       sync.Mutex
 	maxBytes int64
+	maxEntry int64 // per-entry admission bound; 0 = only maxBytes bounds
 	curBytes int64
 	order    *list.List // front = most recently used
 	entries  map[string]*list.Element
@@ -34,6 +35,18 @@ func NewCache(maxBytes int64) *Cache {
 	}
 }
 
+// SetMaxEntry installs a cost-aware admission bound: values larger than
+// maxEntry are not cached. The LRU alone is cost-blind — one multi-MiB
+// betweenness ranking would evict hundreds of sub-KiB stat results, each
+// of which another client is about to re-request — so the bound keeps a
+// single giant result from flushing the cheap working set. maxEntry <= 0
+// removes the bound (only maxBytes applies).
+func (c *Cache) SetMaxEntry(maxEntry int64) {
+	c.mu.Lock()
+	c.maxEntry = maxEntry
+	c.mu.Unlock()
+}
+
 // Get returns the cached bytes for key, marking the entry most recently
 // used.
 func (c *Cache) Get(key string) ([]byte, bool) {
@@ -48,13 +61,18 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 }
 
 // Put stores val under key, evicting LRU entries to stay under the byte
-// bound. Values larger than the whole bound are not cached at all.
-func (c *Cache) Put(key string, val []byte) {
+// bound. It reports whether the value was admitted: values larger than
+// the whole bound — or than the per-entry admission bound, when one is
+// set — are not cached at all.
+func (c *Cache) Put(key string, val []byte) bool {
 	if c.maxBytes <= 0 || int64(len(val)) > c.maxBytes {
-		return
+		return false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.maxEntry > 0 && int64(len(val)) > c.maxEntry {
+		return false
+	}
 	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*cacheEntry)
 		c.curBytes += int64(len(val)) - int64(len(e.val))
@@ -74,6 +92,7 @@ func (c *Cache) Put(key string, val []byte) {
 		delete(c.entries, e.key)
 		c.curBytes -= int64(len(e.val))
 	}
+	return true
 }
 
 // Len returns the number of cached entries.

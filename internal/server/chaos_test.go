@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -42,6 +43,7 @@ func TestChaos(t *testing.T) {
 	s := New(reg, Config{
 		MaxConcurrent:    2,
 		MaxQueued:        4, // small queue so 429s actually happen
+		CheapReserved:    1, // QoS lanes on: chaos must hold with classes split
 		IngestConcurrent: 2,
 		IngestQueued:     8,
 		SnapshotEvery:    64,
@@ -128,11 +130,12 @@ func TestChaos(t *testing.T) {
 	}
 
 	// 8 readers across both graphs and several kernels, some opting into
-	// stale serving. Each reader checks every response it gets: allowed
-	// status, and a never-decreasing epoch header per graph (epochs only
-	// move forward, even while snapshot publication is being injected
-	// with failures).
-	kernels := []string{"components", "stats", "degrees", "clustering"}
+	// stale serving. With lanes enabled the mix includes an expensive
+	// kernel, so both admission lanes run hot under chaos. Each reader
+	// checks every response it gets: allowed status, and a
+	// never-decreasing epoch header per graph (epochs only move forward,
+	// even while snapshot publication is being injected with failures).
+	kernels := []string{"components", "stats", "degrees", "clustering", "kcentrality?k=1&samples=4"}
 	for r := 0; r < 8; r++ {
 		wg.Add(1)
 		go func(r int) {
@@ -146,7 +149,11 @@ func TestChaos(t *testing.T) {
 				}
 				url := ts.URL + "/graphs/" + graphName + "/" + kernels[rng.Intn(len(kernels))]
 				if rng.Intn(3) == 0 {
-					url += "?stale=allow"
+					if strings.Contains(url, "?") {
+						url += "&stale=allow"
+					} else {
+						url += "?stale=allow"
+					}
 				}
 				resp, err := http.Get(url)
 				if err != nil {

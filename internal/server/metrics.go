@@ -82,6 +82,8 @@ type Metrics struct {
 	BreakerRejected atomic.Int64 // 503s from open circuit breakers
 	StaleServed     atomic.Int64 // rejected requests answered from the stale cache
 	CacheDropped    atomic.Int64 // cache insertions dropped (cache.put failpoint)
+	RateLimited     atomic.Int64 // 429s from per-client token buckets
+	CacheOversized  atomic.Int64 // results served but too large for cache admission
 
 	IngestBatches     atomic.Int64 // update batches applied to live graphs
 	IngestUpdates     atomic.Int64 // updates accepted inside those batches
@@ -167,6 +169,15 @@ type MetricsSnapshot struct {
 	BreakerTrips    int64 `json:"breaker_trips"`
 	StaleServed     int64 `json:"stale_served"`
 	CacheDropped    int64 `json:"cache_put_dropped"`
+	RateLimited     int64 `json:"rate_limited"`
+	CacheOversized  int64 `json:"cache_oversized"`
+	RateClients     int   `json:"rate_limit_clients"`
+
+	// QoS lane gauges: zero-valued with lanes disabled (CheapReserved 0).
+	CheapReserved    int   `json:"cheap_reserved"`
+	CheapQueueDepth  int64 `json:"cheap_queue_depth"`
+	ExpQueueDepth    int64 `json:"expensive_queue_depth"`
+	ExpensiveRunning int64 `json:"expensive_running"`
 
 	IngestBatches     int64 `json:"ingest_batches"`
 	IngestUpdates     int64 `json:"ingest_updates"`
@@ -194,8 +205,8 @@ type MetricsSnapshot struct {
 }
 
 // Snapshot captures the current counters plus the gauges owned by the
-// two admission pools, the cache and the breaker set.
-func (m *Metrics) Snapshot(pool, ingest *Pool, cache *Cache, breakers *BreakerSet) MetricsSnapshot {
+// two admission pools, the cache, the breaker set and the rate limiter.
+func (m *Metrics) Snapshot(pool *LanePool, ingest *Pool, cache *Cache, breakers *BreakerSet, limiter *RateLimiter) MetricsSnapshot {
 	s := MetricsSnapshot{
 		Requests:          m.Requests.Load(),
 		CacheHits:         m.CacheHits.Load(),
@@ -207,6 +218,8 @@ func (m *Metrics) Snapshot(pool, ingest *Pool, cache *Cache, breakers *BreakerSe
 		BreakerRejected:   m.BreakerRejected.Load(),
 		StaleServed:       m.StaleServed.Load(),
 		CacheDropped:      m.CacheDropped.Load(),
+		RateLimited:       m.RateLimited.Load(),
+		CacheOversized:    m.CacheOversized.Load(),
 		IngestBatches:     m.IngestBatches.Load(),
 		IngestUpdates:     m.IngestUpdates.Load(),
 		IngestMutations:   m.IngestMutations.Load(),
@@ -235,6 +248,12 @@ func (m *Metrics) Snapshot(pool, ingest *Pool, cache *Cache, breakers *BreakerSe
 	if pool != nil {
 		s.QueueDepth = pool.QueueDepth()
 		s.Running = pool.Running()
+		s.CheapReserved = pool.Reserved()
+		s.CheapQueueDepth, s.ExpQueueDepth = pool.LaneDepths()
+		s.ExpensiveRunning = pool.ExpensiveRunning()
+	}
+	if limiter != nil {
+		s.RateClients = limiter.Clients()
 	}
 	if ingest != nil {
 		s.IngestQueueDepth = ingest.QueueDepth()

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// ClientHeader names the request header that identifies a client for
+// per-client rate limiting. Requests without it share one anonymous
+// bucket, so an unidentified crowd is still collectively bounded.
+const ClientHeader = "X-Graphct-Client"
+
+// maxRateClients bounds the limiter's bucket map. When an insert would
+// exceed it, buckets that have fully refilled (idle long enough to hold
+// no state worth keeping) are pruned; an adversarial flood of fresh
+// client IDs therefore costs O(maxRateClients) memory, not O(clients).
+const maxRateClients = 4096
+
+// RateLimiter is a per-client token bucket: each client accrues rate
+// tokens per second up to burst, and every kernel request spends one.
+// A drained bucket rejects with the time until the next token, which the
+// serving path surfaces as 429 + Retry-After — client-visible fairness,
+// where the admission pool's 429 is server-wide backpressure.
+type RateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	clients map[string]*bucket
+	now     func() time.Time // test seam
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter returns a limiter granting each client rate requests
+// per second with the given burst capacity. rate <= 0 returns nil: a nil
+// limiter admits everything, so the serving path stays uniform. burst
+// values below 1 are raised to 1 — a bucket that can never hold a whole
+// token would reject every request.
+func NewRateLimiter(rate float64, burst int) *RateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &RateLimiter{
+		rate:    rate,
+		burst:   b,
+		clients: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// Allow spends one token from client's bucket. When the bucket is empty
+// it reports false plus how long until a token accrues — the Retry-After
+// the response should carry. A nil limiter always allows.
+func (l *RateLimiter) Allow(client string) (bool, time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.clients[client]
+	if !ok {
+		if len(l.clients) >= maxRateClients {
+			l.prune(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.clients[client] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// prune drops buckets that have fully refilled — clients idle at least
+// burst/rate seconds, for whom a fresh bucket is indistinguishable from
+// the stored one. Callers hold l.mu.
+func (l *RateLimiter) prune(now time.Time) {
+	for id, b := range l.clients {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.clients, id)
+		}
+	}
+}
+
+// Clients returns the number of tracked client buckets (for metrics).
+func (l *RateLimiter) Clients() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.clients)
+}

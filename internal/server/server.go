@@ -48,10 +48,31 @@ type Config struct {
 	// MaxConcurrent bounds simultaneously executing kernels (default 2).
 	MaxConcurrent int
 	// MaxQueued bounds kernel requests waiting for a slot; excess
-	// requests get 429 (default 16).
+	// requests get 429 (default 16). With lanes enabled (CheapReserved)
+	// the bound applies per lane.
 	MaxQueued int
+	// CheapReserved enables QoS priority lanes: this many MaxConcurrent
+	// slots are reserved for cheap-class kernels (stats, degrees,
+	// components, clustering, kcores, bfs, sssp), capping expensive-class
+	// kernels (kcentrality, diameter) at MaxConcurrent-CheapReserved so
+	// cheap reads never queue behind a long centrality run. 0 (default)
+	// disables the lanes: one shared pool, pre-QoS behavior.
+	CheapReserved int
 	// CacheBytes bounds the result cache (default 64 MiB; <0 disables).
 	CacheBytes int64
+	// CacheMaxEntry is the cost-aware cache admission bound: results
+	// larger than this are served but never cached, so one giant
+	// expensive result cannot evict hundreds of cheap entries. 0 defaults
+	// to CacheBytes/8; negative disables the bound.
+	CacheMaxEntry int64
+	// ClientRate enables per-client token-bucket rate limiting of kernel
+	// requests, keyed on the X-Graphct-Client header: each client earns
+	// this many requests per second up to ClientBurst, and a drained
+	// bucket answers 429 with Retry-After. 0 (default) disables limiting.
+	ClientRate float64
+	// ClientBurst is the token-bucket capacity per client (default 2×
+	// ClientRate, minimum 1).
+	ClientBurst int
 	// DefaultTimeout bounds each kernel request that does not set its own
 	// ?timeout_ms (0 = no default deadline).
 	DefaultTimeout time.Duration
@@ -99,10 +120,11 @@ type Server struct {
 	reg      *Registry
 	cache    *Cache
 	flight   *flightGroup
-	pool     *Pool
+	pool     *LanePool
 	ingest   *Pool
 	metrics  *Metrics
 	breakers *BreakerSet
+	limiter  *RateLimiter // nil = per-client rate limiting disabled
 	mux      *http.ServeMux
 	cfg      Config
 
@@ -154,17 +176,27 @@ func New(reg *Registry, cfg Config) *Server {
 	if cfg.RetainEpochs < 1 {
 		cfg.RetainEpochs = 1
 	}
+	if cfg.ClientBurst == 0 {
+		cfg.ClientBurst = int(2 * cfg.ClientRate)
+	}
 	s := &Server{
 		reg:      reg,
 		cache:    NewCache(cfg.CacheBytes),
 		flight:   newFlightGroup(),
-		pool:     NewPool(cfg.MaxConcurrent, cfg.MaxQueued),
+		pool:     NewLanePool(cfg.MaxConcurrent, cfg.CheapReserved, cfg.MaxQueued),
 		ingest:   NewPool(cfg.IngestConcurrent, cfg.IngestQueued),
 		metrics:  NewMetrics(),
 		breakers: NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		limiter:  NewRateLimiter(cfg.ClientRate, cfg.ClientBurst),
 		cfg:      cfg,
 		retain:   cfg.RetainEpochs,
 		hist:     make(map[string]*GraphEntry),
+	}
+	switch {
+	case cfg.CacheMaxEntry > 0:
+		s.cache.SetMaxEntry(cfg.CacheMaxEntry)
+	case cfg.CacheMaxEntry == 0 && cfg.CacheBytes > 0:
+		s.cache.SetMaxEntry(cfg.CacheBytes / 8)
 	}
 	if cfg.DataDir != "" {
 		s.store = blob.NewFS(filepath.Join(cfg.DataDir, "blobs"))
@@ -222,7 +254,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.pool, s.ingest, s.cache, s.breakers))
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.pool, s.ingest, s.cache, s.breakers, s.limiter))
 }
 
 type graphInfo struct {
@@ -548,7 +580,11 @@ func (s *Server) cacheResult(key, staleKey string, epoch uint64, body []byte) {
 		s.metrics.CacheDropped.Add(1)
 		return
 	}
-	s.cache.Put(key, body)
+	// A rejected admission with caching enabled means the value outgrew
+	// the cost-aware entry bound (or the whole cache): served, not stored.
+	if !s.cache.Put(key, body) && s.cfg.CacheBytes > 0 {
+		s.metrics.CacheOversized.Add(1)
+	}
 	if staleKey != "" {
 		s.cache.Put(staleKey, encodeStale(epoch, body))
 	}
@@ -611,6 +647,22 @@ func (s *Server) handleKernel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad stale %q (want allow or deny)", r.URL.Query().Get("stale"))
 		return
 	}
+	// Classify before any resource is consumed: the class decides which
+	// admission lane the request competes in, and the header lets clients
+	// (and the load harness) attribute the latency they saw to a lane.
+	class := costClass(kernel)
+	w.Header().Set("X-Graphct-Class", class)
+	// Per-client fairness gates the whole serving path, cache hits
+	// included: a client above its rate is told to back off even when the
+	// answer would have been free, otherwise one hot client could still
+	// monopolize the socket and starve the metrics a fair share.
+	if ok, retry := s.limiter.Allow(r.Header.Get(ClientHeader)); !ok {
+		s.metrics.RateLimited.Add(1)
+		secs := int(retry/time.Second) + 1
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, "client rate limit exceeded (retry in %ds)", secs)
+		return
+	}
 	s.metrics.Requests.Add(1)
 
 	// The whole request — cache key, coalescing group, kernel input — is
@@ -654,10 +706,10 @@ func (s *Server) handleKernel(w http.ResponseWriter, r *http.Request) {
 	// under its own deadline; followers share the leader's result (and,
 	// if the leader is cancelled, its cancellation).
 	body, err, shared := s.flight.Do(key, func() ([]byte, error) {
-		if err := s.pool.Acquire(ctx); err != nil {
+		if err := s.pool.Acquire(ctx, class); err != nil {
 			return nil, err
 		}
-		defer s.pool.Release()
+		defer s.pool.Release(class)
 		s.metrics.KernelStarted(kernel)
 		if s.beforeKernel != nil {
 			s.beforeKernel(kernel)

@@ -1,0 +1,54 @@
+// Package testutil holds helpers shared across the repo's test suites.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines arranges for the test to fail if it finishes with more
+// goroutines than it started with — the leak hygiene check for code that
+// spawns workers (the load driver, lane admission, rate limiting). Call
+// it FIRST in the test, before any other t.Cleanup registration: cleanups
+// run last-in-first-out, so the check then runs after the test's own
+// teardown (server shutdowns, CloseIdleConnections) has retired its
+// goroutines.
+//
+// Goroutines legitimately take a moment to unwind after a cancel, so the
+// check polls up to a grace window before declaring a leak, and allows
+// the small slack the runtime and net/http keep for themselves.
+func CheckGoroutines(t testing.TB) {
+	t.Helper()
+	const slack = 2
+	baseline := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(3 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= baseline+slack {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: started with %d, finished with %d\n%s",
+			baseline, n, shorten(buf))
+	})
+}
+
+// shorten keeps failure output readable: full dumps of a busy test binary
+// run to hundreds of KB, and the leaked stacks are at the top anyway.
+func shorten(buf []byte) string {
+	const max = 16 << 10
+	if len(buf) <= max {
+		return string(buf)
+	}
+	return fmt.Sprintf("%s\n... (%d bytes of stacks elided)", buf[:max], len(buf)-max)
+}

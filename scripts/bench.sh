@@ -1,20 +1,35 @@
 #!/usr/bin/env sh
-# Reproducible memory-layout ablation harness: runs cmd/bench with the
-# committed report's exact configuration (R-MAT scale 16, seed 1, 32
-# sampled sources, GOMAXPROCS=4, k=1, best-of-3 reps) and refreshes
-# BENCH_PR7.json at the repo root, printing the ablation table —
-# baseline / reorder / reorder+compact / reorder+compact+arena / default —
-# to stdout. Re-running on the same hardware reproduces the committed
-# numbers; pass cmd/bench flags to override, e.g.:
+# Reproducible benchmark harness, two parts:
 #
-#   scripts/bench.sh                    # scale-16 acceptance run
-#   scripts/bench.sh -scale 14 -out -   # quicker, print JSON to stdout
-#   scripts/bench.sh -k 0               # skip the slow k-betweenness rows
+# 1. Memory-layout ablation: runs cmd/bench with the committed report's
+#    exact configuration (R-MAT scale 16, seed 1, 32 sampled sources,
+#    GOMAXPROCS=4, k=1, best-of-3 reps) and refreshes BENCH_PR7.json at
+#    the repo root, printing the ablation table — baseline / reorder /
+#    reorder+compact / reorder+compact+arena / default. Pass cmd/bench
+#    flags to override, e.g.:
 #
-# Explicit flags repeat cmd/bench's defaults so the pinned configuration
-# is visible here and stays fixed even if the tool's defaults move.
+#      scripts/bench.sh                    # full acceptance run
+#      scripts/bench.sh -scale 14 -out -   # quicker, print JSON to stdout
+#      scripts/bench.sh -k 0               # skip the slow k-betweenness rows
+#
+# 2. Mixed-workload SLO ablation: runs cmd/loadgen self-hosted at a
+#    pinned small scale — QoS lanes off vs on under the same blend of
+#    cheap reads, k-betweenness requests and streaming ingest — and
+#    refreshes BENCH_LOAD.json, then schema-checks it so a harness
+#    regression fails the run instead of committing a malformed report.
+#
+# Explicit flags repeat each tool's defaults so the pinned configurations
+# are visible here and stay fixed even if the tools' defaults move.
 set -eu
 cd "$(dirname "$0")/.."
-exec go run ./cmd/bench \
+go run ./cmd/bench \
 	-scale 16 -samples 32 -seed 1 -procs 4 -k 1 -reps 3 \
 	-reorder degree -out BENCH_PR7.json "$@"
+
+go run ./cmd/loadgen \
+	-scale 12 -seed 1 -duration 8s -warmup 2s -lanes ablate \
+	-max-concurrent 2 -max-queued 32 -cheap-reserved 1 \
+	-stats-qps 100 -bfs-qps 40 -components-qps 10 -closed-workers 2 \
+	-bc-qps 4 -bc-k 1 -bc-samples 128 -ingest-qps 8 -ingest-batch 256 \
+	-out BENCH_LOAD.json
+go run ./cmd/loadgen -check BENCH_LOAD.json
