@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphct/internal/server"
+)
+
+// TestGoldenConnect runs the connect workflow end to end: a real durable
+// daemon is stood up in-process, seeded with a deterministic live graph,
+// and the CLI targets it through $GRAPHCT_URL — connect, list, fetch the
+// shipped snapshot, then analyze it locally. Output is golden-compared
+// like every other script; -update re-blesses it.
+func TestGoldenConnect(t *testing.T) {
+	srv := server.New(server.NewRegistry(), server.Config{
+		DataDir:       t.TempDir(),
+		SnapshotEvery: -1, // publish (and persist) after every batch
+	})
+	if _, err := srv.AddLive("g", 6); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// A two-component shape: a path over 0..4 with one chord, vertex 5
+	// isolated. Everything the script prints derives from this.
+	updates := `[{"u":0,"v":1,"time":1},{"u":1,"v":2,"time":2},{"u":2,"v":3,"time":3},{"u":0,"v":2,"time":4},{"u":3,"v":4,"time":5}]`
+	resp, err := http.Post(ts.URL+"/graphs/g/ingest?batch_id=seed", "application/json", strings.NewReader(updates))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed ingest: HTTP %d", resp.StatusCode)
+	}
+	t.Setenv("GRAPHCT_URL", ts.URL)
+
+	var out, errOut bytes.Buffer
+	script := filepath.Join("testdata", "connect", "connect.gct")
+	if code := run([]string{"-seed", "7", script}, &out, &errOut); code != exitOK {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+	}
+	golden := filepath.Join("testdata", "golden", "connect.golden")
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("output drifted from %s\n--- got ---\n%s--- want ---\n%s(re-bless with -update if intentional)",
+			golden, out.String(), want)
+	}
+}

@@ -19,10 +19,15 @@
 //	stats | components | undirected | reciprocal | bfs SRC DEPTH
 //	sssp SRC [=> dist.txt]
 //	compare FILE1 FILE2 TOP_PERCENT
+//	connect URL | graphs | fetch NAME | disconnect
 //
 // "read snapshot" and "save snapshot" use graphctd's durable snapshot
 // format, so scripts can pick up a graph from — or hand one to — a
-// daemon data directory.
+// daemon data directory. "connect" targets a running graphctd daemon or
+// router instead (the URL is environment-expanded, so scripts can say
+// "connect $GRAPHCT_URL"); "graphs" lists what it serves and
+// "fetch NAME" pulls a graph's newest durable snapshot down as the
+// current graph for local analysis.
 //
 // Script errors are reported with the file and line of the failing
 // command. Exit codes distinguish failure classes: 2 for parse/usage

@@ -26,6 +26,10 @@
 //	                                   binary framing (see internal/stream)
 //	POST   /graphs/{name}/snapshot     force-publish a live graph's epoch
 //	GET    /graphs/{name}/epochs       current + retained durable epochs
+//	GET    /graphs/{name}/snapshot     newest durable snapshot, raw GCTS
+//	                                   (the replication bootstrap feed)
+//	GET    /graphs/{name}/wal?from=E   log segment based at epoch E, raw
+//	                                   (the replication tail feed)
 //	GET    /graphs/{name}/components
 //	GET    /graphs/{name}/stats
 //	GET    /graphs/{name}/degrees
@@ -74,6 +78,17 @@
 // fault injection; see internal/failpoint. On SIGINT/SIGTERM the daemon
 // stops accepting connections and drains in-flight kernels before
 // exiting.
+//
+// Topology: one binary serves three roles. The default is a standalone
+// worker. -follow URL turns a worker into a follower that bootstraps
+// every live graph from the leader's newest snapshot and tails its
+// write-ahead log, serving reads at the leader's own epoch numbers.
+// -mode router -workers "LEADER|REPLICA,...," runs a coordinator that
+// owns no graphs: a consistent-hash ring over graph names sends writes to
+// the owning shard's leader and fans kernel reads across the shard's
+// members, honoring X-Graphct-Min-Epoch read-your-epoch floors and
+// answering 503 with X-Graphct-Degraded when a shard is down. See
+// DESIGN.md §12.
 package main
 
 import (
@@ -102,6 +117,10 @@ func (g *graphFlags) Set(s string) error { *g = append(*g, s); return nil }
 
 func main() {
 	addr := flag.String("addr", ":8423", "listen address")
+	mode := flag.String("mode", "server", "role: server (owns graphs) or router (coordinates -workers shards)")
+	workers := flag.String("workers", "", "router mode topology: comma-separated shards, each LEADER_URL|REPLICA_URL|... (first member is the leader)")
+	follow := flag.String("follow", "", "replicate every live graph from this leader daemon's URL (worker mode)")
+	followInterval := flag.Duration("follow-interval", 200*time.Millisecond, "poll interval of the -follow replication tailer")
 	maxConcurrent := flag.Int("max-concurrent", 2, "kernels executing at once")
 	maxQueued := flag.Int("max-queued", 16, "kernel requests waiting for a slot before 429 (per lane with -cheap-reserved)")
 	cheapReserved := flag.Int("cheap-reserved", 0, "QoS lanes: kernel slots reserved for cheap-class requests so stats never queue behind centrality (0 disables lanes)")
@@ -149,6 +168,40 @@ func main() {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	switch *mode {
+	case "router":
+		// A router owns no graphs: reject worker-only flags loudly rather
+		// than silently ignoring a -data-dir the operator expected to fill.
+		if *workers == "" {
+			log.Fatalf("graphctd: -mode router requires -workers")
+		}
+		if len(graphs) > 0 || *dataDir != "" || *follow != "" {
+			log.Fatalf("graphctd: -graph, -data-dir and -follow are worker flags; a router owns no graphs")
+		}
+		shards, err := server.ParseShards(*workers)
+		if err != nil {
+			log.Fatalf("graphctd: -workers: %v", err)
+		}
+		rt := server.NewRouter(shards)
+		httpSrv := &http.Server{Addr: *addr, Handler: rt}
+		members := 0
+		for _, sh := range shards {
+			members += len(sh.Members)
+		}
+		log.Printf("graphctd routing on %s (%d shards, %d members)", *addr, len(shards), members)
+		serveUntilSignal(ctx, httpSrv, *drain)
+		return
+	case "server":
+	default:
+		log.Fatalf("graphctd: unknown -mode %q (want server or router)", *mode)
+	}
+	if *workers != "" {
+		log.Fatalf("graphctd: -workers requires -mode router")
+	}
+
 	reg := server.NewRegistry()
 	reg.Layout = layout
 	srv := server.New(reg, server.Config{
@@ -173,15 +226,10 @@ func main() {
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	errc := make(chan error, 1)
-
 	// Bind immediately and preload in the background: /healthz answers
 	// from the first instant while /readyz stays 503 until every -graph
 	// has parsed, so load balancers hold traffic during multi-GiB loads.
 	srv.SetReady(false)
-	go func() { errc <- httpSrv.ListenAndServe() }()
 	go func() {
 		// Warm restart before preloads: every live graph with durable
 		// state in -data-dir is rebuilt from its newest snapshot plus the
@@ -237,17 +285,28 @@ func main() {
 		srv.SetReady(true)
 		log.Printf("graphctd ready (%d graphs)", len(reg.List()))
 	}()
+	if *follow != "" {
+		f := server.NewFollower(srv, *follow, *followInterval)
+		go f.Run(ctx)
+		log.Printf("graphctd following %s (poll %v)", *follow, *followInterval)
+	}
 	log.Printf("graphctd listening on %s (%d graphs preloading)", *addr, len(graphs))
+	serveUntilSignal(ctx, httpSrv, *drain)
+}
 
+// serveUntilSignal runs httpSrv until ctx is cancelled (SIGINT/SIGTERM),
+// then stops accepting connections and drains in-flight requests within
+// the drain budget. Both roles share this lifecycle.
+func serveUntilSignal(ctx context.Context, httpSrv *http.Server, drain time.Duration) {
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
 	select {
 	case err := <-errc:
 		log.Fatalf("graphctd: %v", err)
 	case <-ctx.Done():
 	}
-
-	// Graceful shutdown: stop accepting, then drain in-flight kernels.
-	log.Printf("graphctd: draining (budget %v)", *drain)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	log.Printf("graphctd: draining (budget %v)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "graphctd: forced shutdown: %v\n", err)

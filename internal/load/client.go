@@ -22,6 +22,7 @@ import (
 	neturl "net/url"
 	"time"
 
+	"graphct/internal/api"
 	"graphct/internal/stream"
 )
 
@@ -133,11 +134,8 @@ func Drain(resp *http.Response, want int) error {
 	if resp.StatusCode == want {
 		return nil
 	}
-	var e struct {
-		Error string `json:"error"`
-	}
-	_ = json.NewDecoder(resp.Body).Decode(&e)
-	return fmt.Errorf("HTTP %d: %s", resp.StatusCode, e.Error)
+	body, _ := io.ReadAll(resp.Body)
+	return fmt.Errorf("HTTP %d: %s", resp.StatusCode, api.DecodeError(body))
 }
 
 // DrainBody consumes and closes resp's body so the transport can reuse

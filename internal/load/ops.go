@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"graphct/internal/api"
 	"graphct/internal/stream"
 )
 
@@ -62,8 +63,8 @@ func (t Target) Kernel(kernel string, params func() string) Op {
 }
 
 // ClientHeader is the per-client identity header graphctd keys its rate
-// limiter on (mirrors internal/server.ClientHeader without the import).
-const ClientHeader = "X-Graphct-Client"
+// limiter on.
+const ClientHeader = api.HeaderClient
 
 // Ingest returns an Op posting one GCTU-framed batch per call to the
 // target's live graph. Batches are deterministic from seed: batch i holds

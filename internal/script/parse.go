@@ -171,6 +171,30 @@ var staticChecks = map[string]func(args []string) error{
 		return nil
 	},
 	"stats": nil,
+	"connect": func(args []string) error {
+		if len(args) != 1 {
+			return parseErrf("usage: connect URL")
+		}
+		return nil
+	},
+	"disconnect": func(args []string) error {
+		if len(args) != 0 {
+			return parseErrf("usage: disconnect")
+		}
+		return nil
+	},
+	"graphs": func(args []string) error {
+		if len(args) != 0 {
+			return parseErrf("usage: graphs")
+		}
+		return nil
+	},
+	"fetch": func(args []string) error {
+		if len(args) != 1 {
+			return parseErrf("usage: fetch NAME")
+		}
+		return nil
+	},
 	"sssp": func(args []string) error {
 		if len(args) != 1 {
 			return parseErrf("usage: sssp SOURCE [=> dist.txt]")

@@ -6,6 +6,9 @@
 // "similar to that of a basic calculator" — saves and restores graphs so a
 // subgraph can be analyzed and the original recalled. The language has no
 // loops; an external process can monitor results and drive execution.
+// Scripts are not limited to local files: "connect URL" targets a running
+// graphctd daemon or router, and "fetch NAME" pulls one of its graphs
+// down for local analysis (see remote.go).
 package script
 
 import (
@@ -62,12 +65,20 @@ func parseErrf(format string, args ...any) error {
 
 // Interp executes GraphCT scripts.
 type Interp struct {
-	tk   *core.Toolkit
-	out  io.Writer
-	dir  string // base for relative file paths
-	file string // script path for error provenance ("" when inline)
-	seed int64
-	line int
+	tk     *core.Toolkit
+	remote *remote // connected daemon or router (nil = local only)
+	out    io.Writer
+	dir    string // base for relative file paths
+	file   string // script path for error provenance ("" when inline)
+	seed   int64
+	line   int
+}
+
+// noGraphNeeded names the commands that run before any graph is loaded:
+// the ones that load graphs, operate on score files, or talk to a daemon.
+var noGraphNeeded = map[string]bool{
+	"read": true, "compare": true,
+	"connect": true, "disconnect": true, "graphs": true, "fetch": true,
 }
 
 // New returns an interpreter writing kernel output to out. Relative paths
@@ -127,12 +138,20 @@ func (in *Interp) Exec(line string) error {
 		return nil
 	}
 	args, redirect := c.Args, c.Redirect
-	if c.Name != "read" && c.Name != "compare" && in.tk == nil {
+	if !noGraphNeeded[c.Name] && in.tk == nil {
 		return parseErrf("no graph loaded (missing read command)")
 	}
 	switch c.Name {
 	case "read":
 		return in.cmdRead(args)
+	case "connect":
+		return in.cmdConnect(args)
+	case "disconnect":
+		return in.cmdDisconnect()
+	case "graphs":
+		return in.cmdGraphs()
+	case "fetch":
+		return in.cmdFetch(args)
 	case "print":
 		return in.cmdPrint(args, redirect)
 	case "save":

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"graphct/internal/api"
 	"graphct/internal/failpoint"
 	"graphct/internal/stream"
 	"graphct/internal/wal"
@@ -44,6 +45,12 @@ type Live struct {
 	wal          *wal.Log
 	durableEpoch uint64
 	walFailed    bool
+
+	// replica marks a live graph maintained by the follower tailer: its
+	// only writer is the replication stream, so direct ingest and forced
+	// snapshots are rejected — otherwise the follower would diverge from
+	// the leader state it mirrors epoch-for-epoch.
+	replica bool
 }
 
 // dedupWindow bounds how many batch IDs a live graph remembers.
@@ -137,6 +144,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "graph %q is static; only live graphs accept updates", name)
 		return
 	}
+	if e.Live.replica {
+		writeError(w, http.StatusConflict, "graph %q is a replica; write to its leader", name)
+		return
+	}
 	batchID := r.URL.Query().Get("batch_id")
 	if len(batchID) > 128 {
 		writeError(w, http.StatusBadRequest, "batch_id longer than 128 bytes")
@@ -173,7 +184,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if dup {
 		s.metrics.IngestDeduped.Add(1)
-		w.Header().Set("X-Graphct-Deduped", "true")
+		w.Header().Set(api.HeaderDeduped, "true")
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -263,6 +274,10 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "graph %q is static; nothing to snapshot", name)
 		return
 	}
+	if e.Live.replica {
+		writeError(w, http.StatusConflict, "graph %q is a replica; its epochs follow the leader", name)
+		return
+	}
 	out, err := s.forceSnapshot(name, e.Live, e.Epoch)
 	if err != nil {
 		// A forced flush that cannot publish breaks the caller's
@@ -335,5 +350,5 @@ func (s *Server) writeIngestError(w http.ResponseWriter, err error) {
 // epochHeader exposes which epoch served a kernel response, letting
 // clients correlate results with ingest/snapshot responses.
 func epochHeader(w http.ResponseWriter, epoch uint64) {
-	w.Header().Set("X-Graphct-Epoch", strconv.FormatUint(epoch, 10))
+	w.Header().Set(api.HeaderEpoch, strconv.FormatUint(epoch, 10))
 }

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/url"
+	"strconv"
+
+	"graphct/internal/bc"
+	"graphct/internal/core"
+	"graphct/internal/failpoint"
+	"graphct/internal/sssp"
+	"graphct/internal/stats"
+)
+
+// kernelRun executes one kernel over a graph entry; the canonical param
+// string doubles as the cache-key suffix.
+type kernelRun func(ctx context.Context) (any, error)
+
+// parseKernel validates a kernel request and returns its canonical
+// parameter string plus a closure that runs it. Validation happens here,
+// before the request touches the cache or pool, so malformed requests are
+// rejected with 400 without consuming serving-path resources.
+func (s *Server) parseKernel(kernel string, e *GraphEntry, q url.Values) (string, kernelRun, error) {
+	g := e.Graph
+	tk := func() *core.Toolkit { return core.New(g, core.WithSeed(s.cfg.Seed)) }
+	switch kernel {
+	case "components":
+		return "", func(ctx context.Context) (any, error) {
+			census := tk().ComponentCensus()
+			type comp struct {
+				Rank int   `json:"rank"`
+				Size int64 `json:"size"`
+			}
+			top := make([]comp, 0, 20)
+			for i, c := range census {
+				if i >= 20 {
+					break
+				}
+				top = append(top, comp{Rank: i + 1, Size: c.Size})
+			}
+			return map[string]any{"count": len(census), "largest": top}, nil
+		}, nil
+	case "stats":
+		return "", func(ctx context.Context) (any, error) {
+			ds := tk().DegreeStats()
+			alpha, used := stats.PowerLawAlpha(g, 4)
+			return map[string]any{
+				"vertices": g.NumVertices(), "edges": g.NumEdges(),
+				"degree_mean": ds.Mean, "degree_variance": ds.Variance, "degree_max": ds.Max,
+				"power_law_alpha": alpha, "power_law_fit_vertices": used,
+			}, nil
+		}, nil
+	case "degrees":
+		return "", func(ctx context.Context) (any, error) {
+			ds := tk().DegreeStats()
+			return ds, nil
+		}, nil
+	case "clustering":
+		return "", func(ctx context.Context) (any, error) {
+			return map[string]any{"global_clustering": tk().GlobalClustering()}, nil
+		}, nil
+	case "diameter":
+		return "", func(ctx context.Context) (any, error) {
+			d, err := tk().DiameterCtx(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return d, nil
+		}, nil
+	case "kcores":
+		k, err := intParam(q, "k", 1)
+		if err != nil || k < 0 {
+			return "", nil, fmt.Errorf("bad k %q", q.Get("k"))
+		}
+		return fmt.Sprintf("k=%d", k), func(ctx context.Context) (any, error) {
+			t := tk()
+			t.KCores(int32(k))
+			sub := t.Graph()
+			return map[string]any{"k": k, "vertices": sub.NumVertices(), "edges": sub.NumEdges()}, nil
+		}, nil
+	case "kcentrality":
+		k, err := intParam(q, "k", 0)
+		if err != nil || k < 0 || k > bc.MaxK {
+			return "", nil, fmt.Errorf("bad k %q (supported range 0..%d)", q.Get("k"), bc.MaxK)
+		}
+		samples, err := intParam(q, "samples", 256)
+		if err != nil {
+			return "", nil, fmt.Errorf("bad samples %q", q.Get("samples"))
+		}
+		top, err := intParam(q, "top", 10)
+		if err != nil || top < 1 {
+			return "", nil, fmt.Errorf("bad top %q", q.Get("top"))
+		}
+		return fmt.Sprintf("k=%d&samples=%d&top=%d", k, samples, top), func(ctx context.Context) (any, error) {
+			// Centrality treats the graph as undirected; resolving the
+			// entry's memoized view here keeps concurrent requests on a
+			// directed graph from each paying (or racing to share) the
+			// symmetrization inside the kernel.
+			res, err := core.New(e.Undirected(), core.WithSeed(s.cfg.Seed)).KCentralityCtx(ctx, k, samples)
+			if err != nil {
+				return nil, err
+			}
+			type scored struct {
+				Vertex int32   `json:"vertex"`
+				Score  float64 `json:"score"`
+			}
+			ranked := make([]scored, 0, top)
+			for _, v := range res.TopK(top) {
+				// Translate to client-visible ids: a reorder-relabeled
+				// graph must never leak internal labels.
+				ranked = append(ranked, scored{Vertex: e.ToExternal(v), Score: res.Scores[v]})
+			}
+			return map[string]any{"k": k, "sources": len(res.Sources), "top": ranked}, nil
+		}, nil
+	case "bfs":
+		src, err := vertexParam(q, "src", g.NumVertices())
+		if err != nil {
+			return "", nil, err
+		}
+		depth, err := intParam(q, "depth", -1)
+		if err != nil {
+			return "", nil, fmt.Errorf("bad depth %q", q.Get("depth"))
+		}
+		return fmt.Sprintf("depth=%d&src=%d", depth, src), func(ctx context.Context) (any, error) {
+			// src is the client's id; the kernel runs on internal labels.
+			res := tk().BFS(e.ToInternal(src), depth)
+			return map[string]any{"src": src, "reached": res.NumReached(), "depth": res.Depth}, nil
+		}, nil
+	case "sssp":
+		src, err := vertexParam(q, "src", g.NumVertices())
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("src=%d", src), func(ctx context.Context) (any, error) {
+			res, err := tk().SSSPCtx(ctx, e.ToInternal(src))
+			if err != nil {
+				return nil, err
+			}
+			reached, maxDist := 0, int64(0)
+			for _, d := range res.Dist {
+				if d != sssp.Inf {
+					reached++
+					if d > maxDist {
+						maxDist = d
+					}
+				}
+			}
+			return map[string]any{"src": src, "reached": reached, "max_distance": maxDist}, nil
+		}, nil
+	default:
+		return "", nil, errUnknownKernel
+	}
+}
+
+var errUnknownKernel = errors.New("unknown kernel")
+
+func intParam(q url.Values, name string, def int) (int, error) {
+	v := q.Get(name)
+	if v == "" {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}
+
+func vertexParam(q url.Values, name string, n int) (int32, error) {
+	v, err := intParam(q, name, 0)
+	if err != nil || v < 0 || v >= n {
+		return 0, fmt.Errorf("bad vertex %q (graph has %d vertices)", q.Get(name), n)
+	}
+	return int32(v), nil
+}
+
+// errKernelPanic marks a kernel execution that panicked and was isolated
+// by the per-kernel recover; it maps to HTTP 500 instead of a dead daemon.
+var errKernelPanic = errors.New("kernel panicked")
+
+// runKernel executes one kernel with panic isolation: a panicking kernel
+// (organic or injected via the kernel.exec failpoint) is converted into
+// an error on this request alone, counted in kernel_panics, and the
+// daemon keeps serving.
+func (s *Server) runKernel(ctx context.Context, run kernelRun) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.KernelPanics.Add(1)
+			err = fmt.Errorf("%w: %v", errKernelPanic, r)
+		}
+	}()
+	if err := failpoint.Eval(failpoint.KernelExec); err != nil {
+		return nil, err
+	}
+	return run(ctx)
+}

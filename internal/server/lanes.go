@@ -3,14 +3,18 @@ package server
 import (
 	"context"
 	"sync/atomic"
+
+	"graphct/internal/api"
 )
 
 // QoS cost classes. Every kernel request is classified before admission
 // and the class travels with the response as X-Graphct-Class, so clients
 // and the load harness can attribute latency to the lane that served it.
+// The values are the wire contract's (internal/api); the local names keep
+// call sites short.
 const (
-	ClassCheap     = "cheap"
-	ClassExpensive = "expensive"
+	ClassCheap     = api.ClassCheap
+	ClassExpensive = api.ClassExpensive
 )
 
 // costClass assigns a kernel its admission class. Expensive kernels are

@@ -104,6 +104,11 @@ type Metrics struct {
 	RecoveredBatches   atomic.Int64 // logged batches replayed at boot
 	RecoveryMs         atomic.Int64 // wall time of the last RecoverAll
 
+	ReplicaBootstraps atomic.Int64 // follower graph (re-)bootstraps from a leader snapshot
+	ReplicaBatches    atomic.Int64 // WAL records applied by the follower tailer
+	ReplicaEpochs     atomic.Int64 // leader epochs pinned by the follower
+	ReplicaErrors     atomic.Int64 // failed follower sync passes
+
 	mu         sync.Mutex
 	kernelRuns map[string]*atomic.Int64
 	latency    map[string]*Histogram
@@ -200,6 +205,11 @@ type MetricsSnapshot struct {
 	RecoveredBatches   int64 `json:"recovered_batches"`
 	RecoveryMs         int64 `json:"recovery_ms"`
 
+	ReplicaBootstraps int64 `json:"replica_bootstraps"`
+	ReplicaBatches    int64 `json:"replica_batches"`
+	ReplicaEpochs     int64 `json:"replica_epochs"`
+	ReplicaErrors     int64 `json:"replica_errors"`
+
 	KernelRuns map[string]int64             `json:"kernel_runs,omitempty"`
 	LatencyMs  map[string]HistogramSnapshot `json:"latency_ms,omitempty"`
 }
@@ -238,6 +248,11 @@ func (m *Metrics) Snapshot(pool *LanePool, ingest *Pool, cache *Cache, breakers 
 		RecoveredGraphs:    m.RecoveredGraphs.Load(),
 		RecoveredBatches:   m.RecoveredBatches.Load(),
 		RecoveryMs:         m.RecoveryMs.Load(),
+
+		ReplicaBootstraps: m.ReplicaBootstraps.Load(),
+		ReplicaBatches:    m.ReplicaBatches.Load(),
+		ReplicaEpochs:     m.ReplicaEpochs.Load(),
+		ReplicaErrors:     m.ReplicaErrors.Load(),
 
 		KernelRuns:        make(map[string]int64),
 		LatencyMs:         make(map[string]HistogramSnapshot),

@@ -184,23 +184,29 @@ func (s *Server) persistEpoch(name string, live *Live, epoch uint64) {
 		return
 	}
 	old := live.wal
+	incomplete := live.walFailed
+	oldBase := live.durableEpoch
 	live.wal, live.durableEpoch, live.walFailed = nl, epoch, false
 	if old != nil {
 		old.Close()
+		// A segment missing an acked batch (failed append forced this
+		// publication) must not be retained: a follower that finished it
+		// would pin the new epoch onto a state missing that batch. Deleting
+		// it turns the follower's next poll into a 410 → snapshot
+		// re-bootstrap, which lands on the correct bits.
+		if incomplete {
+			os.Remove(s.walPath(name, oldBase))
+		}
 	}
 	s.pruneDurable(name, epoch)
 }
 
-// pruneDurable removes log segments older than the newest durable epoch
-// and snapshots beyond the retention window.
+// pruneDurable removes snapshots beyond the retention window and log
+// segments older than the oldest retained snapshot. Sealed segments
+// inside the window are kept even though recovery no longer needs them:
+// they are what a follower mid-tail finishes to pin the next epoch
+// without re-shipping a whole snapshot.
 func (s *Server) pruneDurable(name string, newest uint64) {
-	if segs, err := s.walSegments(name); err == nil {
-		for _, base := range segs {
-			if base < newest {
-				os.Remove(s.walPath(name, base))
-			}
-		}
-	}
 	epochs, err := s.durableEpochs(name)
 	if err != nil {
 		return
@@ -214,6 +220,17 @@ func (s *Server) pruneDurable(name string, newest uint64) {
 			return
 		}
 		epochs = epochs[1:]
+	}
+	oldest := newest
+	if len(epochs) > 0 && epochs[0] < oldest {
+		oldest = epochs[0]
+	}
+	if segs, err := s.walSegments(name); err == nil {
+		for _, base := range segs {
+			if base < oldest {
+				os.Remove(s.walPath(name, base))
+			}
+		}
 	}
 }
 

@@ -541,7 +541,13 @@ func TestRetentionPrunes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(segs) != 1 {
-		t.Fatalf("stale WAL segments not pruned: %v", segs)
+	// Segments are retained while their base snapshot is (followers finish
+	// sealed segments from them), so the bound is the retention window,
+	// and no retained segment may predate the oldest retained snapshot.
+	if len(segs) == 0 || len(segs) > retain {
+		t.Fatalf("WAL segments not bounded by retention: %v", segs)
+	}
+	if segs[0] < epochs[0] {
+		t.Fatalf("segment %d predates oldest retained snapshot %d", segs[0], epochs[0])
 	}
 }

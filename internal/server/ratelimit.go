@@ -3,12 +3,14 @@ package server
 import (
 	"sync"
 	"time"
+
+	"graphct/internal/api"
 )
 
 // ClientHeader names the request header that identifies a client for
 // per-client rate limiting. Requests without it share one anonymous
 // bucket, so an unidentified crowd is still collectively bounded.
-const ClientHeader = "X-Graphct-Client"
+const ClientHeader = api.HeaderClient
 
 // maxRateClients bounds the limiter's bucket map. When an insert would
 // exceed it, buckets that have fully refilled (idle long enough to hold

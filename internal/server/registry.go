@@ -128,6 +128,21 @@ func (r *Registry) addEntry(name string, g *graph.Graph, live *Live, orig []int3
 	return e
 }
 
+// addEntryAt publishes g under name at a caller-chosen epoch instead of
+// the next counter value. The follower tailer uses it to pin replicated
+// entries to the leader's durable epochs, so "epoch E of graph g" names
+// the same bits on every member of a shard. The global counter is raised
+// past the pinned value first, so locally published epochs (follower-own
+// graphs, a later promotion to leader) never collide with replicated ones.
+func (r *Registry) addEntryAt(name string, g *graph.Graph, live *Live, epoch uint64) *GraphEntry {
+	advanceEpochCounter(epoch)
+	e := &GraphEntry{Name: name, Epoch: epoch, Graph: g, Live: live}
+	r.mu.Lock()
+	r.m[name] = e
+	r.mu.Unlock()
+	return e
+}
+
 // isPerm reports whether orig is a permutation of [0, len(orig)).
 func isPerm(orig []int32) bool {
 	if orig == nil {

@@ -19,28 +19,33 @@
 //   - every request carries a context deadline that the long-running
 //     kernels (betweenness source loops, SSSP relaxation rounds, diameter
 //     sampling) observe at cooperative checkpoints.
+//
+// The package is organized as composable roles around one serving core:
+//
+//   - server.go — the core: Config, the Server that owns a Registry plus
+//     the admission/cache/breaker machinery, and the worker-role mux;
+//   - handlers.go / kernels.go — the HTTP handlers and the kernel
+//     dispatch table they validate against;
+//   - ingest.go / persist.go — the live-graph write path and durability;
+//   - replica.go — the follower role: snapshot/WAL streaming endpoints
+//     on the leader side, and the tailer that keeps a follower's graphs
+//     bit-identical to the leader's at pinned epochs;
+//   - router.go — the coordinator role: a mux-compatible Router that owns
+//     no graphs and proxies to workers over a consistent-hash ring.
+//
+// cmd/graphctd composes these roles behind flags; embedders can do the
+// same with New (worker) and NewRouter (coordinator).
 package server
 
 import (
-	"context"
-	"encoding/binary"
-	"encoding/json"
-	"errors"
-	"fmt"
 	"net/http"
-	"net/url"
 	"path/filepath"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"graphct/internal/bc"
+	"graphct/internal/api"
 	"graphct/internal/blob"
-	"graphct/internal/core"
-	"graphct/internal/failpoint"
-	"graphct/internal/sssp"
-	"graphct/internal/stats"
 )
 
 // Config tunes a Server.
@@ -203,6 +208,15 @@ func New(reg *Registry, cfg Config) *Server {
 		s.walDir = filepath.Join(cfg.DataDir, "wal")
 	}
 	s.ready.Store(true)
+	s.mux = s.buildMux()
+	return s
+}
+
+// buildMux wires the worker role's HTTP surface over the serving core.
+// It is the only place routes live, so an embedder composing a different
+// surface (the router role, a test harness) shares every handler without
+// inheriting the route table.
+func (s *Server) buildMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -216,9 +230,10 @@ func New(reg *Registry, cfg Config) *Server {
 	mux.HandleFunc("POST /graphs/{name}/ingest", s.handleIngest)
 	mux.HandleFunc("POST /graphs/{name}/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /graphs/{name}/epochs", s.handleEpochs)
+	mux.HandleFunc("GET /graphs/{name}/snapshot", s.handleSnapshotGet)
+	mux.HandleFunc("GET /graphs/{name}/wal", s.handleWALGet)
 	mux.HandleFunc("GET /graphs/{name}/{kernel}", s.handleKernel)
-	s.mux = mux
-	return s
+	return mux
 }
 
 // Metrics exposes the server's counters (used by tests and cmd/graphctd).
@@ -238,573 +253,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// writeJSON and writeError delegate to the shared wire contract so every
+// process speaking the protocol produces identical bodies.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
+	api.WriteJSON(w, status, v)
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "graphs": len(s.reg.List())})
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.pool, s.ingest, s.cache, s.breakers, s.limiter))
-}
-
-type graphInfo struct {
-	Name     string `json:"name"`
-	Epoch    uint64 `json:"epoch"`
-	Vertices int    `json:"vertices"`
-	Edges    int64  `json:"edges"`
-	Directed bool   `json:"directed"`
-	Live     bool   `json:"live,omitempty"`
-}
-
-func entryInfo(e *GraphEntry) graphInfo {
-	return graphInfo{
-		Name:     e.Name,
-		Epoch:    e.Epoch,
-		Vertices: e.Graph.NumVertices(),
-		Edges:    e.Graph.NumEdges(),
-		Directed: e.Graph.Directed(),
-		Live:     e.Live != nil,
-	}
-}
-
-func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
-	entries := s.reg.List()
-	out := make([]graphInfo, len(entries))
-	for i, e := range entries {
-		out[i] = entryInfo(e)
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-type loadRequest struct {
-	Name     string `json:"name"`
-	Format   string `json:"format"` // dimacs | edgelist | binary | live
-	Path     string `json:"path"`
-	Directed bool   `json:"directed"`
-	// Vertices sizes a live graph (format "live"), which starts empty and
-	// grows through POST /graphs/{name}/ingest instead of a file.
-	Vertices int `json:"vertices,omitempty"`
-}
-
-func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
-	var req loadRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return
-	}
-	if req.Format == "live" {
-		if req.Name == "" {
-			writeError(w, http.StatusBadRequest, "name is required")
-			return
-		}
-		e, err := s.AddLive(req.Name, req.Vertices)
-		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, "create live %q: %v", req.Name, err)
-			return
-		}
-		writeJSON(w, http.StatusCreated, entryInfo(e))
-		return
-	}
-	if req.Name == "" || req.Format == "" || req.Path == "" {
-		writeError(w, http.StatusBadRequest, "name, format and path are required")
-		return
-	}
-	e, err := s.reg.Load(req.Name, req.Format, req.Path, req.Directed)
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "load %q: %v", req.Name, err)
-		return
-	}
-	writeJSON(w, http.StatusCreated, entryInfo(e))
-}
-
-func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	e, ok := s.reg.Get(name)
-	if !ok || !s.reg.Remove(name) {
-		writeError(w, http.StatusNotFound, "no graph %q", name)
-		return
-	}
-	// Deleting a durable live graph also deletes its snapshots and log:
-	// the name is gone, not just the memory.
-	if s.durable() && e.Live != nil {
-		s.dropDurable(name, e.Live)
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
-}
-
-type extractRequest struct {
-	Component int    `json:"component"` // 1 = largest
-	As        string `json:"as"`
-}
-
-// handleExtract registers the rank-th largest component of a graph as a
-// new named graph — the server analogue of the script's
-// "extract component N => file.bin", with the registry standing in for
-// the filesystem.
-func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	e, ok := s.reg.Get(name)
-	if !ok {
-		writeError(w, http.StatusNotFound, "no graph %q", name)
-		return
-	}
-	var req extractRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return
-	}
-	if req.As == "" {
-		writeError(w, http.StatusBadRequest, "\"as\" (target graph name) is required")
-		return
-	}
-	if req.Component == 0 {
-		req.Component = 1
-	}
-	tk := core.New(e.Graph, core.WithSeed(s.cfg.Seed))
-	if err := tk.ExtractComponent(req.Component); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	// The derived entry keeps an id trail to the loaded graph: the
-	// toolkit's orig ids point into the parent's internal labels, which
-	// the parent's own translation lifts to client-visible ids.
-	var orig []int32
-	if sub := tk.OrigIDs(); sub != nil {
-		orig = make([]int32, len(sub))
-		for i, v := range sub {
-			orig[i] = e.ToExternal(v)
-		}
-	} else if e.Orig != nil {
-		orig = e.Orig
-	}
-	ne := s.reg.AddWithOrig(req.As, tk.Graph(), orig)
-	writeJSON(w, http.StatusCreated, entryInfo(ne))
-}
-
-// kernelRun executes one kernel over a graph entry; the canonical param
-// string doubles as the cache-key suffix.
-type kernelRun func(ctx context.Context) (any, error)
-
-// parseKernel validates a kernel request and returns its canonical
-// parameter string plus a closure that runs it. Validation happens here,
-// before the request touches the cache or pool, so malformed requests are
-// rejected with 400 without consuming serving-path resources.
-func (s *Server) parseKernel(kernel string, e *GraphEntry, q url.Values) (string, kernelRun, error) {
-	g := e.Graph
-	tk := func() *core.Toolkit { return core.New(g, core.WithSeed(s.cfg.Seed)) }
-	switch kernel {
-	case "components":
-		return "", func(ctx context.Context) (any, error) {
-			census := tk().ComponentCensus()
-			type comp struct {
-				Rank int   `json:"rank"`
-				Size int64 `json:"size"`
-			}
-			top := make([]comp, 0, 20)
-			for i, c := range census {
-				if i >= 20 {
-					break
-				}
-				top = append(top, comp{Rank: i + 1, Size: c.Size})
-			}
-			return map[string]any{"count": len(census), "largest": top}, nil
-		}, nil
-	case "stats":
-		return "", func(ctx context.Context) (any, error) {
-			ds := tk().DegreeStats()
-			alpha, used := stats.PowerLawAlpha(g, 4)
-			return map[string]any{
-				"vertices": g.NumVertices(), "edges": g.NumEdges(),
-				"degree_mean": ds.Mean, "degree_variance": ds.Variance, "degree_max": ds.Max,
-				"power_law_alpha": alpha, "power_law_fit_vertices": used,
-			}, nil
-		}, nil
-	case "degrees":
-		return "", func(ctx context.Context) (any, error) {
-			ds := tk().DegreeStats()
-			return ds, nil
-		}, nil
-	case "clustering":
-		return "", func(ctx context.Context) (any, error) {
-			return map[string]any{"global_clustering": tk().GlobalClustering()}, nil
-		}, nil
-	case "diameter":
-		return "", func(ctx context.Context) (any, error) {
-			d, err := tk().DiameterCtx(ctx)
-			if err != nil {
-				return nil, err
-			}
-			return d, nil
-		}, nil
-	case "kcores":
-		k, err := intParam(q, "k", 1)
-		if err != nil || k < 0 {
-			return "", nil, fmt.Errorf("bad k %q", q.Get("k"))
-		}
-		return fmt.Sprintf("k=%d", k), func(ctx context.Context) (any, error) {
-			t := tk()
-			t.KCores(int32(k))
-			sub := t.Graph()
-			return map[string]any{"k": k, "vertices": sub.NumVertices(), "edges": sub.NumEdges()}, nil
-		}, nil
-	case "kcentrality":
-		k, err := intParam(q, "k", 0)
-		if err != nil || k < 0 || k > bc.MaxK {
-			return "", nil, fmt.Errorf("bad k %q (supported range 0..%d)", q.Get("k"), bc.MaxK)
-		}
-		samples, err := intParam(q, "samples", 256)
-		if err != nil {
-			return "", nil, fmt.Errorf("bad samples %q", q.Get("samples"))
-		}
-		top, err := intParam(q, "top", 10)
-		if err != nil || top < 1 {
-			return "", nil, fmt.Errorf("bad top %q", q.Get("top"))
-		}
-		return fmt.Sprintf("k=%d&samples=%d&top=%d", k, samples, top), func(ctx context.Context) (any, error) {
-			// Centrality treats the graph as undirected; resolving the
-			// entry's memoized view here keeps concurrent requests on a
-			// directed graph from each paying (or racing to share) the
-			// symmetrization inside the kernel.
-			res, err := core.New(e.Undirected(), core.WithSeed(s.cfg.Seed)).KCentralityCtx(ctx, k, samples)
-			if err != nil {
-				return nil, err
-			}
-			type scored struct {
-				Vertex int32   `json:"vertex"`
-				Score  float64 `json:"score"`
-			}
-			ranked := make([]scored, 0, top)
-			for _, v := range res.TopK(top) {
-				// Translate to client-visible ids: a reorder-relabeled
-				// graph must never leak internal labels.
-				ranked = append(ranked, scored{Vertex: e.ToExternal(v), Score: res.Scores[v]})
-			}
-			return map[string]any{"k": k, "sources": len(res.Sources), "top": ranked}, nil
-		}, nil
-	case "bfs":
-		src, err := vertexParam(q, "src", g.NumVertices())
-		if err != nil {
-			return "", nil, err
-		}
-		depth, err := intParam(q, "depth", -1)
-		if err != nil {
-			return "", nil, fmt.Errorf("bad depth %q", q.Get("depth"))
-		}
-		return fmt.Sprintf("depth=%d&src=%d", depth, src), func(ctx context.Context) (any, error) {
-			// src is the client's id; the kernel runs on internal labels.
-			res := tk().BFS(e.ToInternal(src), depth)
-			return map[string]any{"src": src, "reached": res.NumReached(), "depth": res.Depth}, nil
-		}, nil
-	case "sssp":
-		src, err := vertexParam(q, "src", g.NumVertices())
-		if err != nil {
-			return "", nil, err
-		}
-		return fmt.Sprintf("src=%d", src), func(ctx context.Context) (any, error) {
-			res, err := tk().SSSPCtx(ctx, e.ToInternal(src))
-			if err != nil {
-				return nil, err
-			}
-			reached, maxDist := 0, int64(0)
-			for _, d := range res.Dist {
-				if d != sssp.Inf {
-					reached++
-					if d > maxDist {
-						maxDist = d
-					}
-				}
-			}
-			return map[string]any{"src": src, "reached": reached, "max_distance": maxDist}, nil
-		}, nil
-	default:
-		return "", nil, errUnknownKernel
-	}
-}
-
-var errUnknownKernel = errors.New("unknown kernel")
-
-func intParam(q url.Values, name string, def int) (int, error) {
-	v := q.Get(name)
-	if v == "" {
-		return def, nil
-	}
-	return strconv.Atoi(v)
-}
-
-func vertexParam(q url.Values, name string, n int) (int32, error) {
-	v, err := intParam(q, name, 0)
-	if err != nil || v < 0 || v >= n {
-		return 0, fmt.Errorf("bad vertex %q (graph has %d vertices)", q.Get(name), n)
-	}
-	return int32(v), nil
-}
-
-// errKernelPanic marks a kernel execution that panicked and was isolated
-// by the per-kernel recover; it maps to HTTP 500 instead of a dead daemon.
-var errKernelPanic = errors.New("kernel panicked")
-
-// runKernel executes one kernel with panic isolation: a panicking kernel
-// (organic or injected via the kernel.exec failpoint) is converted into
-// an error on this request alone, counted in kernel_panics, and the
-// daemon keeps serving.
-func (s *Server) runKernel(ctx context.Context, run kernelRun) (res any, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			s.metrics.KernelPanics.Add(1)
-			err = fmt.Errorf("%w: %v", errKernelPanic, r)
-		}
-	}()
-	if err := failpoint.Eval(failpoint.KernelExec); err != nil {
-		return nil, err
-	}
-	return run(ctx)
-}
-
-// cacheResult inserts a computed kernel result under its epoch-scoped key
-// and refreshes the epochless stale entry behind ?stale=allow. The
-// cache.put failpoint drops both insertions — degrading hit rate, never
-// the response. An empty staleKey skips the stale refresh: historical
-// (?epoch=E) reads must not masquerade as the latest result.
-func (s *Server) cacheResult(key, staleKey string, epoch uint64, body []byte) {
-	if err := failpoint.Eval(failpoint.CachePut); err != nil {
-		s.metrics.CacheDropped.Add(1)
-		return
-	}
-	// A rejected admission with caching enabled means the value outgrew
-	// the cost-aware entry bound (or the whole cache): served, not stored.
-	if !s.cache.Put(key, body) && s.cfg.CacheBytes > 0 {
-		s.metrics.CacheOversized.Add(1)
-	}
-	if staleKey != "" {
-		s.cache.Put(staleKey, encodeStale(epoch, body))
-	}
-}
-
-// handleKernel is the concurrent serving path: cache lookup, circuit
-// breaker, then singleflight-coalesced execution through the admission
-// pool with panic isolation and optional stale fallback.
-func (s *Server) handleKernel(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	kernel := r.PathValue("kernel")
-	e, ok := s.reg.Get(name)
-	if !ok {
-		writeError(w, http.StatusNotFound, "no graph %q", name)
-		return
-	}
-	// ?epoch=E pins the request to a durable point-in-time snapshot
-	// instead of the current entry (which stays the default).
-	historical := false
-	if v := r.URL.Query().Get("epoch"); v != "" {
-		epoch, err := strconv.ParseUint(v, 10, 64)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad epoch %q", v)
-			return
-		}
-		he, err := s.epochEntry(name, epoch, e)
-		if err != nil {
-			writeError(w, http.StatusNotFound, "epoch %d of %q: %v", epoch, name, err)
-			return
-		}
-		historical = he != e
-		e = he
-	}
-	params, run, err := s.parseKernel(kernel, e, r.URL.Query())
-	if err != nil {
-		if errors.Is(err, errUnknownKernel) {
-			writeError(w, http.StatusNotFound, "unknown kernel %q", kernel)
-		} else {
-			writeError(w, http.StatusBadRequest, "%v", err)
-		}
-		return
-	}
-	// Validate the deadline before the cache lookup so a malformed
-	// timeout_ms is a 400 regardless of whether the result is cached.
-	timeout := s.cfg.DefaultTimeout
-	if v := r.URL.Query().Get("timeout_ms"); v != "" {
-		ms, err := strconv.Atoi(v)
-		if err != nil || ms <= 0 {
-			writeError(w, http.StatusBadRequest, "bad timeout_ms %q", v)
-			return
-		}
-		timeout = time.Duration(ms) * time.Millisecond
-	}
-	staleOK := false
-	switch r.URL.Query().Get("stale") {
-	case "", "deny":
-	case "allow":
-		staleOK = true
-	default:
-		writeError(w, http.StatusBadRequest, "bad stale %q (want allow or deny)", r.URL.Query().Get("stale"))
-		return
-	}
-	// Classify before any resource is consumed: the class decides which
-	// admission lane the request competes in, and the header lets clients
-	// (and the load harness) attribute the latency they saw to a lane.
-	class := costClass(kernel)
-	w.Header().Set("X-Graphct-Class", class)
-	// Per-client fairness gates the whole serving path, cache hits
-	// included: a client above its rate is told to back off even when the
-	// answer would have been free, otherwise one hot client could still
-	// monopolize the socket and starve the metrics a fair share.
-	if ok, retry := s.limiter.Allow(r.Header.Get(ClientHeader)); !ok {
-		s.metrics.RateLimited.Add(1)
-		secs := int(retry/time.Second) + 1
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		writeError(w, http.StatusTooManyRequests, "client rate limit exceeded (retry in %ds)", secs)
-		return
-	}
-	s.metrics.Requests.Add(1)
-
-	// The whole request — cache key, coalescing group, kernel input — is
-	// pinned to the entry resolved above, so a snapshot published mid-flight
-	// cannot tear the response; the header tells clients which epoch served.
-	epochHeader(w, e.Epoch)
-	key := fmt.Sprintf("%s@%d/%s?%s", e.Name, e.Epoch, kernel, params)
-	staleKey := staleCacheKey(e.Name, kernel, params)
-	if historical {
-		staleKey = "" // point-in-time results never refresh the stale entry
-	}
-	if body, ok := s.cache.Get(key); ok {
-		s.metrics.CacheHits.Add(1)
-		s.writeRaw(w, body, "cache")
-		return
-	}
-	s.metrics.CacheMiss.Add(1)
-
-	// Cache hits serve even through an open breaker (they cost no kernel
-	// run); everything past this point risks an execution, so a tripped
-	// (graph, kernel) pair short-circuits to 503 — or a stale hit.
-	record, err := s.breakers.Allow(name + "/" + kernel)
-	if err != nil {
-		s.metrics.BreakerRejected.Add(1)
-		if staleOK && s.serveStale(w, staleKey) {
-			return
-		}
-		w.Header().Set("X-Graphct-Breaker", "open")
-		s.writeKernelError(w, err)
-		return
-	}
-
-	ctx := r.Context()
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
-	}
-
-	// Coalesce identical concurrent requests: the leader runs the kernel
-	// under its own deadline; followers share the leader's result (and,
-	// if the leader is cancelled, its cancellation).
-	body, err, shared := s.flight.Do(key, func() ([]byte, error) {
-		if err := s.pool.Acquire(ctx, class); err != nil {
-			return nil, err
-		}
-		defer s.pool.Release(class)
-		s.metrics.KernelStarted(kernel)
-		if s.beforeKernel != nil {
-			s.beforeKernel(kernel)
-		}
-		start := time.Now()
-		res, err := s.runKernel(ctx, run)
-		s.metrics.ObserveLatency(kernel, time.Since(start))
-		if err != nil {
-			return nil, err
-		}
-		b, err := json.Marshal(res)
-		if err != nil {
-			return nil, err
-		}
-		s.cacheResult(key, staleKey, e.Epoch, b)
-		return b, nil
-	})
-	if shared {
-		s.metrics.Coalesced.Add(1)
-	}
-	// Only the flight leader's outcome feeds the breaker, and only
-	// outcomes that say something about the kernel: backpressure and
-	// client cancellations are skipped.
-	switch {
-	case shared, errors.Is(err, ErrQueueFull),
-		errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		record(breakerSkip)
-	case err != nil:
-		record(breakerFailure)
-	default:
-		record(breakerSuccess)
-	}
-	if err != nil {
-		if staleOK && errors.Is(err, ErrQueueFull) && s.serveStale(w, staleKey) {
-			return
-		}
-		s.writeKernelError(w, err)
-		return
-	}
-	source := "computed"
-	if shared {
-		source = "coalesced"
-	}
-	s.writeRaw(w, body, source)
-}
-
-// staleCacheKey is the epochless cache key holding the latest computed
-// result for (graph, kernel, params), whatever epoch produced it. The
-// NUL separator keeps it disjoint from epoch-scoped keys, which never
-// contain one.
-func staleCacheKey(name, kernel, params string) string {
-	return "stale\x00" + name + "/" + kernel + "?" + params
-}
-
-// encodeStale prefixes body with the big-endian epoch that computed it.
-func encodeStale(epoch uint64, body []byte) []byte {
-	out := make([]byte, 8+len(body))
-	binary.BigEndian.PutUint64(out, epoch)
-	copy(out[8:], body)
-	return out
-}
-
-// serveStale answers a rejected request from the epochless stale entry,
-// if one exists: HTTP 200 with X-Graphct-Stale naming the epoch that
-// actually computed the body (X-Graphct-Epoch still names the current
-// one). Returns false when nothing stale is cached.
-func (s *Server) serveStale(w http.ResponseWriter, staleKey string) bool {
-	raw, ok := s.cache.Get(staleKey)
-	if !ok || len(raw) < 8 {
-		return false
-	}
-	s.metrics.StaleServed.Add(1)
-	w.Header().Set("X-Graphct-Stale", strconv.FormatUint(binary.BigEndian.Uint64(raw), 10))
-	s.writeRaw(w, raw[8:], "stale")
-	return true
-}
-
-func (s *Server) writeRaw(w http.ResponseWriter, body []byte, source string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Graphct-Source", source)
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(body)
-}
-
-func (s *Server) writeKernelError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		s.metrics.Rejected.Add(1)
-		writeError(w, http.StatusTooManyRequests, "%v", err)
-	case errors.Is(err, ErrBreakerOpen):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		s.metrics.Canceled.Add(1)
-		writeError(w, http.StatusGatewayTimeout, "kernel canceled: %v", err)
-	default:
-		writeError(w, http.StatusInternalServerError, "%v", err)
-	}
+	api.WriteError(w, status, format, args...)
 }

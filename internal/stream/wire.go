@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"graphct/internal/api"
 )
 
 // Wire format for batched updates (the ingest endpoint's compact framing,
@@ -24,8 +26,10 @@ import (
 // Varint ids and delta-coded timestamps keep a typical mention-stream
 // record at 4-7 bytes versus ~40 of JSON.
 
-// WireContentType is the HTTP content type of the binary framing.
-const WireContentType = "application/x-graphct-updates"
+// WireContentType is the HTTP content type of the binary framing (the
+// wire contract's api.ContentTypeUpdates; aliased here so codec callers
+// need not import internal/api).
+const WireContentType = api.ContentTypeUpdates
 
 var wireMagic = [5]byte{'G', 'C', 'T', 'U', 1}
 

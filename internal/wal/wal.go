@@ -210,6 +210,14 @@ func decodePayload(payload []byte) (Record, error) {
 	return Record{BatchID: string(id), Updates: ups}, nil
 }
 
+// Decode parses a whole in-memory log image with decodeAll's torn-tail
+// semantics. The follower replication tailer uses it to apply segments
+// fetched over HTTP, where a torn tail just means the leader is still
+// appending — the next poll picks up the rest.
+func Decode(data []byte) (baseEpoch uint64, recs []Record, torn bool, err error) {
+	return decodeAll(data)
+}
+
 // Replay reads the segment at path and calls fn for each intact record in
 // append order, stopping at the first torn or corrupt frame. It returns
 // the segment's base epoch, how many records were replayed, and whether
