@@ -73,9 +73,12 @@ const (
 	// it is complete, and applying all of it lands exactly on the durable
 	// snapshot named by HeaderWALNext.
 	HeaderWALSealed = "X-Graphct-Wal-Sealed"
-	// HeaderWALNext, on a sealed segment, is the base epoch of the
-	// segment that follows — the epoch a follower publishes after
-	// applying the sealed one in full.
+	// HeaderWALNext, on a sealed segment, is the next durable epoch —
+	// the epoch a follower publishes after applying the sealed segment in
+	// full, and the base it tails next. It is derived from the snapshot
+	// chain, not the surviving segment set: the segment based at that
+	// epoch may itself have been dropped, in which case tailing it
+	// answers 410 and the follower re-bootstraps.
 	HeaderWALNext = "X-Graphct-Wal-Next"
 )
 

@@ -96,7 +96,18 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	e, ok := s.reg.Get(name)
-	if !ok || !s.reg.Remove(name) {
+	if !ok {
+		writeError(w, http.StatusNotFound, "no graph %q", name)
+		return
+	}
+	// A replica's lifecycle follows its leader: deleting one locally would
+	// leave the tailer holding the stale Live, and the next sealed segment
+	// it finishes would silently republish the graph.
+	if e.Live != nil && e.Live.replica {
+		writeError(w, http.StatusConflict, "graph %q is a replica; delete it on its leader", name)
+		return
+	}
+	if !s.reg.Remove(name) {
 		writeError(w, http.StatusNotFound, "no graph %q", name)
 		return
 	}

@@ -100,32 +100,48 @@ func (s *Server) handleWALGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "list segments: %v", err)
 		return
 	}
-	found := false
-	next := uint64(0)
+	found, rotated := false, false
 	for _, base := range segs {
 		if base == from {
 			found = true
 		}
-		if base > from && (next == 0 || base < next) {
-			next = base
+		if base > from {
+			rotated = true
+		}
+	}
+	// The epoch a sealed segment leads to comes from the durable snapshot
+	// chain, not from the surviving segment set: rotation drops a segment
+	// as incomplete while the snapshot it was based at survives, and
+	// naming the next *existing* segment across that gap would have a
+	// follower pin state at an epoch it never applied — diverging from the
+	// leader while still tailing a valid segment, so no 410 ever corrects
+	// it. The next durable snapshot is exactly where the rotation that
+	// closed this segment landed (rotation only happens after its snapshot
+	// commits, and pruning is oldest-first), so it is safe to pin.
+	next := uint64(0)
+	if epochs, err := s.durableEpochs(name); err == nil {
+		for _, e := range epochs {
+			if e > from {
+				next = e // ascending: the first epoch past from is the successor
+				break
+			}
 		}
 	}
 	if !found {
 		// Anything durable past `from` means the segment existed and is
 		// gone — the tailer's position is unrecoverable from logs alone.
-		if next != 0 {
+		if rotated || next != 0 {
 			writeError(w, http.StatusGone, "segment %d of %q pruned; re-bootstrap from the newest snapshot", from, name)
 			return
 		}
-		if epochs, err := s.durableEpochs(name); err == nil {
-			for _, e := range epochs {
-				if e > from {
-					writeError(w, http.StatusGone, "segment %d of %q pruned; re-bootstrap from the newest snapshot", from, name)
-					return
-				}
-			}
-		}
 		writeError(w, http.StatusNotFound, "no log segment based at epoch %d for %q", from, name)
+		return
+	}
+	if rotated && next == 0 {
+		// A rotated segment implies a committed successor snapshot; if it
+		// cannot be named, the seal point cannot be pinned safely — a
+		// snapshot re-bootstrap always lands on correct bits.
+		writeError(w, http.StatusGone, "segment %d of %q sealed but its successor epoch is unlistable; re-bootstrap from the newest snapshot", from, name)
 		return
 	}
 	data, err := os.ReadFile(s.walPath(name, from))
@@ -135,7 +151,7 @@ func (s *Server) handleWALGet(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", api.ContentTypeWAL)
 	w.Header().Set(api.HeaderWALBase, strconv.FormatUint(from, 10))
-	if next != 0 {
+	if rotated {
 		w.Header().Set(api.HeaderWALSealed, "true")
 		w.Header().Set(api.HeaderWALNext, strconv.FormatUint(next, 10))
 	}
@@ -240,13 +256,52 @@ func (f *Follower) SyncOnce(ctx context.Context) error {
 			firstErr = fmt.Errorf("sync %q: %w", name, err)
 		}
 	}
+	var stale []string
 	for name := range f.state {
 		if !listed[name] {
+			stale = append(stale, name)
+		}
+	}
+	// Absence from the listing only means deletion once the leader is past
+	// boot: a restarted leader serves /graphs from its first instant while
+	// warm-restart recovery still repopulates the registry in the
+	// background, and dropping replicas on that partial listing would 404
+	// reads exactly when the replica should cover for the leader — then
+	// force full snapshot re-ships once recovery finishes.
+	if len(stale) > 0 && f.leaderListingComplete(ctx) {
+		for _, name := range stale {
 			f.srv.reg.Remove(name)
 			delete(f.state, name)
 		}
 	}
 	return firstErr
+}
+
+// leaderListingComplete reports whether the leader's /graphs listing can
+// be trusted as exhaustive. /readyz distinguishes the cases: "ready" and
+// "saturated" leaders list every graph they own (a busy leader's registry
+// is complete), while "starting"/"recovering" — or unreachable — leaders
+// may still be rebuilding theirs.
+func (f *Follower) leaderListingComplete(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.leader+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer drain(resp)
+	if resp.StatusCode == http.StatusOK {
+		return true
+	}
+	var st struct {
+		Status string `json:"status"`
+	}
+	if err := decodeJSON(resp.Body, &st); err != nil {
+		return false
+	}
+	return st.Status == "saturated"
 }
 
 // leaderLiveGraphs lists the live graphs the leader currently serves.

@@ -258,6 +258,154 @@ func TestFollowerRebootstrapAfterPrune(t *testing.T) {
 	assertReplicaMatchesLeader(t, leader, fsrv, "g")
 }
 
+// TestWALNextDerivedFromSnapshots pins the seal-point contract when a
+// segment is dropped as incomplete. With segments E0 (sealed), E1
+// (deleted at rotation after a WAL failure) and E2 (open), Wal-Next for
+// E0 must name E1 — the durable epoch applying E0 actually lands on —
+// not E2, the next *surviving* segment; and tailing from E1 must answer
+// 410 so a follower re-bootstraps instead of pinning a wrong epoch. A
+// follower driven across the gap must stay bit-identical to the leader.
+func TestWALNextDerivedFromSnapshots(t *testing.T) {
+	const vertices = 60
+	leader := newDurableServer(t, t.TempDir(), Config{SnapshotEvery: 1 << 30})
+	if _, err := leader.AddLive("g", vertices); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := leader.reg.Get("g")
+	e0 := e.Epoch
+	lts := httptest.NewServer(leader)
+	defer lts.Close()
+
+	// A follower starts tailing segment E0 before the gap exists.
+	fsrv, f, _ := newFollowerServer(t, lts.URL)
+	if err := f.SyncOnce(context.Background()); err != nil {
+		t.Fatalf("SyncOnce: %v", err)
+	}
+
+	// Segment E0 gets one batch, then a forced snapshot seals it at E1.
+	ingestDirect(t, leader, "g", "b-1", []stream.Update{{U: 0, V: 1, Time: 1}})
+	r1, err := leader.forceSnapshot("g", e.Live, e0)
+	if err != nil || !r1.Snapshotted {
+		t.Fatalf("snapshot at e1: %+v, %v", r1, err)
+	}
+	// Segment E1 takes a batch, then a simulated WAL append failure forces
+	// the next batch to publish E2 — whose rotation deletes segment E1 as
+	// incomplete. Surviving segments: E0 (sealed), E2 (open); durable
+	// snapshots: E0, E1, E2.
+	ingestDirect(t, leader, "g", "b-2", []stream.Update{{U: 1, V: 2, Time: 2}})
+	e.Live.mu.Lock()
+	e.Live.walFailed = true
+	e.Live.mu.Unlock()
+	r2 := ingestDirect(t, leader, "g", "b-3", []stream.Update{{U: 2, V: 3, Time: 3}})
+	if !r2.Snapshotted {
+		t.Fatalf("walFailed batch did not publish: %+v", r2)
+	}
+	e1, e2 := r1.Epoch, r2.Epoch
+	segs, err := leader.walSegments("g")
+	if err != nil || len(segs) != 2 || segs[0] != e0 || segs[1] != e2 {
+		t.Fatalf("segments = %v (%v), want [%d %d] with %d dropped", segs, err, e0, e2, e1)
+	}
+
+	// The sealed E0 segment must lead to E1 (snapshot chain), not E2
+	// (surviving segments).
+	status, hdr, _ := get(t, fmt.Sprintf("%s/graphs/g/wal?from=%d", lts.URL, e0))
+	if status != http.StatusOK || hdr.Get(api.HeaderWALSealed) != "true" {
+		t.Fatalf("sealed segment: %d sealed=%q", status, hdr.Get(api.HeaderWALSealed))
+	}
+	if got := hdr.Get(api.HeaderWALNext); got != strconv.FormatUint(e1, 10) {
+		t.Fatalf("wal-next = %q, want %d (not surviving segment %d)", got, e1, e2)
+	}
+	// The dropped segment's base is Gone, not a silent miss.
+	if status, _, _ = get(t, fmt.Sprintf("%s/graphs/g/wal?from=%d", lts.URL, e1)); status != http.StatusGone {
+		t.Fatalf("dropped segment: %d, want 410", status)
+	}
+
+	// Driving the follower across the gap: it finishes E0, pins E1, hits
+	// the 410 and re-bootstraps from the E2 snapshot — converged, never
+	// mis-pinned.
+	if err := f.SyncOnce(context.Background()); err != nil {
+		t.Fatalf("SyncOnce across gap: %v", err)
+	}
+	if got := fsrv.metrics.ReplicaBootstraps.Load(); got != 2 {
+		t.Fatalf("replica_bootstraps = %d, want 2 (re-bootstrap across dropped segment)", got)
+	}
+	assertReplicaMatchesLeader(t, leader, fsrv, "g")
+}
+
+// TestFollowerKeepsReplicasWhileLeaderBoots covers the recovery window: a
+// leader serves /graphs before background recovery has repopulated it, so
+// an empty listing from a not-ready leader must not tear down replicas.
+// Once the leader reports ready, absence does mean deletion.
+func TestFollowerKeepsReplicasWhileLeaderBoots(t *testing.T) {
+	leader := newDurableServer(t, t.TempDir(), Config{})
+	if _, err := leader.AddLive("g", 40); err != nil {
+		t.Fatal(err)
+	}
+	ingestDirect(t, leader, "g", "b-1", []stream.Update{{U: 0, V: 1, Time: 1}})
+	lts := httptest.NewServer(leader)
+	defer lts.Close()
+
+	fsrv, f, _ := newFollowerServer(t, lts.URL)
+	if err := f.SyncOnce(context.Background()); err != nil {
+		t.Fatalf("SyncOnce: %v", err)
+	}
+	if _, ok := fsrv.reg.Get("g"); !ok {
+		t.Fatal("follower did not bootstrap g")
+	}
+
+	// Simulate a leader restart mid-recovery: registry empty, /readyz
+	// reporting "recovering". The follower must hold its replica.
+	leader.reg.Remove("g")
+	leader.SetReady(false)
+	leader.SetRecovering(true)
+	if err := f.SyncOnce(context.Background()); err != nil {
+		t.Fatalf("SyncOnce during recovery: %v", err)
+	}
+	if _, ok := fsrv.reg.Get("g"); !ok {
+		t.Fatal("follower dropped replica on a recovering leader's partial listing")
+	}
+
+	// Recovery finishes and the graph really is gone: now the absence is a
+	// deletion and the replica follows.
+	leader.SetRecovering(false)
+	leader.SetReady(true)
+	if err := f.SyncOnce(context.Background()); err != nil {
+		t.Fatalf("SyncOnce after recovery: %v", err)
+	}
+	if _, ok := fsrv.reg.Get("g"); ok {
+		t.Fatal("replica survived a ready leader's deletion")
+	}
+}
+
+// TestDeleteReplicaRejected: DELETE on a follower's replica graph is a
+// 409 like the other write paths — its lifecycle belongs to the leader.
+func TestDeleteReplicaRejected(t *testing.T) {
+	leader := newDurableServer(t, t.TempDir(), Config{})
+	if _, err := leader.AddLive("g", 40); err != nil {
+		t.Fatal(err)
+	}
+	ingestDirect(t, leader, "g", "b-1", []stream.Update{{U: 0, V: 1, Time: 1}})
+	lts := httptest.NewServer(leader)
+	defer lts.Close()
+
+	fsrv, f, fts := newFollowerServer(t, lts.URL)
+	if err := f.SyncOnce(context.Background()); err != nil {
+		t.Fatalf("SyncOnce: %v", err)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, fts.URL+"/graphs/g", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("replica delete: %d, want 409", resp.StatusCode)
+	}
+	if _, ok := fsrv.reg.Get("g"); !ok {
+		t.Fatal("replica vanished after rejected delete")
+	}
+}
+
 // TestApplyReplicaDedup covers the record-level idempotency backstop: a
 // record whose batch_id is already in the dedup window is not re-applied.
 func TestApplyReplicaDedup(t *testing.T) {
