@@ -75,6 +75,22 @@ type Options struct {
 	// ScratchHeap keeps the individual heap allocations (the pre-arena
 	// behavior, retained for the ablation benchmarks).
 	Scratch Scratch
+	// Adaptive switches ApproxCentralityCtx to the adaptive pair-sampling
+	// estimator with an (ε,δ) absolute-error guarantee (see adaptive.go).
+	// Off, it falls back bit-identically to the fixed-k sampling above.
+	// Requires K == 0; Samples/Strategy/Sweep/Accumulation are ignored.
+	Adaptive bool
+	// Epsilon is the adaptive estimator's absolute-error bound on scores
+	// normalized to [0,1] (score / n(n-1)); 0 means DefaultEpsilon.
+	Epsilon float64
+	// Delta is the adaptive estimator's failure probability: with
+	// probability ≥ 1−Delta every guarantee-covered vertex is within
+	// Epsilon. 0 means DefaultDelta.
+	Delta float64
+	// AdaptiveTopK relaxes the adaptive stopping rule to a ranked query:
+	// stop when every vertex either has radius ≤ Epsilon or provably
+	// cannot belong to the top-k set. 0 covers all vertices.
+	AdaptiveTopK int
 }
 
 // Scratch selects the workspace allocation strategy.

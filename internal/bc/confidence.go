@@ -39,7 +39,10 @@ func EstimateWithConfidence(g *graph.Graph, opt Options, realizations, topK int)
 	tops := make([][]int32, realizations)
 	for r := 0; r < realizations; r++ {
 		runOpt := opt
-		runOpt.Seed = opt.Seed + int64(r)*0x9E37
+		// Each realization gets a fully mixed derived seed: the old
+		// additive offset (seed + r·0x9E37) let realizations of related
+		// base seeds alias each other's source draws.
+		runOpt.Seed = deriveSeed(opt.Seed, int64(r))
 		res := Centrality(g, runOpt)
 		for v, s := range res.Scores {
 			delta := s - mean[v]

@@ -253,6 +253,24 @@ func (t *Toolkit) KCentralityCtx(ctx context.Context, k, samples int) (*bc.Resul
 	return bc.CentralityCtx(ctx, t.g, bc.Options{K: k, Samples: samples, Seed: t.seed})
 }
 
+// ApproxCentrality computes adaptive approximate betweenness centrality
+// with an (ε,δ) absolute-error guarantee, the scripting interface's
+// "kcentrality 0 0 eps=E delta=D". topK > 0 relaxes the stopping rule to
+// certify the top-k ranking only.
+func (t *Toolkit) ApproxCentrality(eps, delta float64, topK int) *bc.ApproxResult {
+	return bc.ApproxCentrality(t.g, bc.Options{
+		Adaptive: true, Epsilon: eps, Delta: delta, AdaptiveTopK: topK, Seed: t.seed,
+	})
+}
+
+// ApproxCentralityCtx is ApproxCentrality with cooperative cancellation,
+// checked between samples.
+func (t *Toolkit) ApproxCentralityCtx(ctx context.Context, eps, delta float64, topK int) (*bc.ApproxResult, error) {
+	return bc.ApproxCentralityCtx(ctx, t.g, bc.Options{
+		Adaptive: true, Epsilon: eps, Delta: delta, AdaptiveTopK: topK, Seed: t.seed,
+	})
+}
+
 // BetweennessExact computes exact betweenness centrality.
 func (t *Toolkit) BetweennessExact() *bc.Result { return bc.Exact(t.g) }
 

@@ -112,6 +112,29 @@ func TestKCentralityAndApprox(t *testing.T) {
 	}
 }
 
+func TestApproxCentralityGuaranteed(t *testing.T) {
+	tk := New(gen.Star(40), WithSeed(5))
+	res := tk.ApproxCentrality(0.05, 0.1, 0)
+	if res.Guarantee.Epsilon != 0.05 || res.Guarantee.Delta != 0.1 {
+		t.Fatalf("guarantee = %+v", res.Guarantee)
+	}
+	if res.Guarantee.SamplesUsed <= 0 {
+		t.Fatalf("no samples used: %+v", res.Guarantee)
+	}
+	// The hub's normalized score is (n-2)/n ≈ 0.95; ε=0.05 forces it to
+	// rank first.
+	if top := res.TopK(1); top[0] != 0 {
+		t.Fatalf("star top-1 = %v, want hub 0", top)
+	}
+	// Deterministic per toolkit seed.
+	again := tk.ApproxCentrality(0.05, 0.1, 0)
+	for v := range res.Scores {
+		if res.Scores[v] != again.Scores[v] {
+			t.Fatalf("re-run differs at vertex %d", v)
+		}
+	}
+}
+
 func TestKCoresAndClustering(t *testing.T) {
 	tk := New(gen.Disjoint(gen.Complete(4), gen.Path(5)))
 	cores := tk.CoreNumbers()

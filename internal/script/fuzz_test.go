@@ -33,6 +33,9 @@ func FuzzScriptParse(f *testing.F) {
 		"=> orphan.txt",
 		"clustering =>",
 		"kcentrality 9 1",
+		"kcentrality 0 0 eps=0.01 delta=0.1",
+		"kcentrality 0 0 eps=2",
+		"kcentrality 1 4 eps=0.01",
 		"bfs -1 2",
 		"print diameter 0x10",
 	}

@@ -115,14 +115,23 @@ var staticChecks = map[string]func(args []string) error{
 		return nil
 	},
 	"kcentrality": func(args []string) error {
-		if len(args) != 2 {
-			return parseErrf("usage: kcentrality K SAMPLES [=> file]")
+		if len(args) < 2 || len(args) > 4 {
+			return parseErrf(kcentralityUsage)
 		}
-		if k, err := strconv.Atoi(args[0]); err != nil || k < 0 || k > bc.MaxK {
+		k, err := strconv.Atoi(args[0])
+		if err != nil || k < 0 || k > bc.MaxK {
 			return parseErrf("bad k %q (supported range 0..%d)", args[0], bc.MaxK)
 		}
-		if _, err := strconv.Atoi(args[1]); err != nil {
+		samples, err := strconv.Atoi(args[1])
+		if err != nil {
 			return parseErrf("bad sample count %q", args[1])
+		}
+		eps, _, err := parseAdaptiveArgs(args[2:])
+		if err != nil {
+			return err
+		}
+		if eps > 0 && (k != 0 || samples != 0) {
+			return parseErrf("adaptive kcentrality needs k=0 and samples=0 (eps sizes its own sample count)")
 		}
 		return nil
 	},

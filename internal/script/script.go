@@ -430,9 +430,39 @@ func (in *Interp) cmdExtract(args []string, redirect string) error {
 	return nil
 }
 
+const kcentralityUsage = "usage: kcentrality K SAMPLES [eps=E [delta=D]] [=> file]"
+
+// parseAdaptiveArgs parses kcentrality's optional adaptive suffix
+// (eps=E, then optionally delta=D). A returned eps of 0 means the suffix
+// was absent — fixed-k sampling mode; with eps given, delta defaults to
+// the kernel's DefaultDelta.
+func parseAdaptiveArgs(extra []string) (eps, delta float64, err error) {
+	if len(extra) == 0 {
+		return 0, 0, nil
+	}
+	if !strings.HasPrefix(extra[0], "eps=") {
+		return 0, 0, parseErrf(kcentralityUsage)
+	}
+	eps, err = strconv.ParseFloat(strings.TrimPrefix(extra[0], "eps="), 64)
+	if err != nil || eps <= 0 || eps >= 1 {
+		return 0, 0, parseErrf("bad %q (need 0 < eps < 1)", extra[0])
+	}
+	delta = bc.DefaultDelta
+	if len(extra) > 1 {
+		if len(extra) > 2 || !strings.HasPrefix(extra[1], "delta=") {
+			return 0, 0, parseErrf(kcentralityUsage)
+		}
+		delta, err = strconv.ParseFloat(strings.TrimPrefix(extra[1], "delta="), 64)
+		if err != nil || delta <= 0 || delta >= 1 {
+			return 0, 0, parseErrf("bad %q (need 0 < delta < 1)", extra[1])
+		}
+	}
+	return eps, delta, nil
+}
+
 func (in *Interp) cmdKCentrality(args []string, redirect string) error {
-	if len(args) != 2 {
-		return parseErrf("usage: kcentrality K SAMPLES [=> file]")
+	if len(args) < 2 || len(args) > 4 {
+		return parseErrf(kcentralityUsage)
 	}
 	k, err := strconv.Atoi(args[0])
 	if err != nil || k < 0 || k > bc.MaxK {
@@ -441,6 +471,26 @@ func (in *Interp) cmdKCentrality(args []string, redirect string) error {
 	samples, err := strconv.Atoi(args[1])
 	if err != nil {
 		return parseErrf("bad sample count %q", args[1])
+	}
+	eps, delta, err := parseAdaptiveArgs(args[2:])
+	if err != nil {
+		return err
+	}
+	if eps > 0 {
+		if k != 0 || samples != 0 {
+			return parseErrf("adaptive kcentrality needs k=0 and samples=0 (eps sizes its own sample count)")
+		}
+		res := in.tk.ApproxCentrality(eps, delta, 0)
+		if redirect != "" {
+			return writeScores(in.path(redirect), res.Scores)
+		}
+		g := res.Guarantee
+		fmt.Fprintf(in.out, "kcentrality adaptive eps=%g delta=%g samples=%d rounds=%d top vertices:\n",
+			g.Epsilon, g.Delta, g.SamplesUsed, g.Rounds)
+		for i, v := range res.TopK(10) {
+			fmt.Fprintf(in.out, "%2d. vertex %d score %.2f\n", i+1, in.tk.OrigID(v), res.Scores[v])
+		}
+		return nil
 	}
 	res := in.tk.KCentrality(k, samples)
 	if redirect != "" {

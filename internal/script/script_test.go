@@ -113,6 +113,47 @@ func TestKCentralityToScreen(t *testing.T) {
 	}
 }
 
+func TestKCentralityAdaptive(t *testing.T) {
+	dir := t.TempDir()
+	writeTestGraph(t, dir)
+	out, err := run(t, dir, "read dimacs test.dimacs\nkcentrality 0 0 eps=0.05 delta=0.2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "kcentrality adaptive eps=0.05 delta=0.2 samples=") {
+		t.Fatalf("adaptive kcentrality output: %s", out)
+	}
+	// delta defaults when only eps is given, and redirects write scores.
+	out, err = run(t, dir, "read dimacs test.dimacs\nkcentrality 0 0 eps=0.05 => ascores.txt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "adaptive") {
+		t.Fatalf("redirected run printed rankings: %s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ascores.txt")); err != nil {
+		t.Fatalf("redirect wrote no score file: %v", err)
+	}
+}
+
+func TestKCentralityAdaptiveRejects(t *testing.T) {
+	dir := t.TempDir()
+	writeTestGraph(t, dir)
+	for _, line := range []string{
+		"kcentrality 1 0 eps=0.05",                    // adaptive is classic BC only
+		"kcentrality 0 16 eps=0.05",                   // samples conflicts with eps
+		"kcentrality 0 0 delta=0.2",                   // delta requires eps
+		"kcentrality 0 0 eps=1.5",                     // out of range
+		"kcentrality 0 0 eps=0.05 x=1",                // unknown trailing arg
+		"kcentrality 0 0 eps=0.05 delta=0.2 eps=0.01", // too many args
+	} {
+		_, err := run(t, dir, "read dimacs test.dimacs\n"+line+"\n")
+		if err == nil {
+			t.Errorf("%q: no error", line)
+		}
+	}
+}
+
 func TestKCoresClusteringBFS(t *testing.T) {
 	dir := t.TempDir()
 	writeTestGraph(t, dir)

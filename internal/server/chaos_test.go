@@ -135,7 +135,8 @@ func TestChaos(t *testing.T) {
 	// checks every response it gets: allowed status, and a
 	// never-decreasing epoch header per graph (epochs only move forward,
 	// even while snapshot publication is being injected with failures).
-	kernels := []string{"components", "stats", "degrees", "clustering", "kcentrality?k=1&samples=4"}
+	kernels := []string{"components", "stats", "degrees", "clustering", "kcentrality?k=1&samples=4",
+		"kcentrality?epsilon=0.2&delta=0.2"}
 	for r := 0; r < 8; r++ {
 		wg.Add(1)
 		go func(r int) {

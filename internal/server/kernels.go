@@ -93,6 +93,45 @@ func (s *Server) parseKernel(kernel string, e *GraphEntry, q url.Values) (string
 		if err != nil || top < 1 {
 			return "", nil, fmt.Errorf("bad top %q", q.Get("top"))
 		}
+		if q.Get("epsilon") != "" || q.Get("delta") != "" {
+			// Adaptive (ε,δ)-guaranteed mode: ?epsilon= selects it, ?delta=
+			// rides along (defaulting like the kernel). The guarantee covers
+			// classic betweenness only, so k must stay 0; samples is the
+			// fixed-k knob and is ignored — reject it so callers don't
+			// believe it did something.
+			eps, err := floatParam(q, "epsilon", 0)
+			if err != nil || eps <= 0 || eps >= 1 {
+				return "", nil, fmt.Errorf("bad epsilon %q (need 0 < epsilon < 1)", q.Get("epsilon"))
+			}
+			delta, err := floatParam(q, "delta", bc.DefaultDelta)
+			if err != nil || delta <= 0 || delta >= 1 {
+				return "", nil, fmt.Errorf("bad delta %q (need 0 < delta < 1)", q.Get("delta"))
+			}
+			if k != 0 {
+				return "", nil, fmt.Errorf("epsilon requires k=0 (adaptive mode is classic betweenness; got k=%d)", k)
+			}
+			if q.Get("samples") != "" {
+				return "", nil, fmt.Errorf("samples and epsilon are mutually exclusive (the adaptive estimator sizes its own sample count)")
+			}
+			// %g canonicalizes numerically equal spellings ("0.05", ".05",
+			// "5e-2") to one cache key per (epoch, ε, δ, top).
+			params := fmt.Sprintf("delta=%g&epsilon=%g&k=0&top=%d", delta, eps, top)
+			return params, func(ctx context.Context) (any, error) {
+				res, err := core.New(e.Undirected(), core.WithSeed(s.cfg.Seed)).ApproxCentralityCtx(ctx, eps, delta, 0)
+				if err != nil {
+					return nil, err
+				}
+				type scored struct {
+					Vertex int32   `json:"vertex"`
+					Score  float64 `json:"score"`
+				}
+				ranked := make([]scored, 0, top)
+				for _, v := range res.TopK(top) {
+					ranked = append(ranked, scored{Vertex: e.ToExternal(v), Score: res.Scores[v]})
+				}
+				return map[string]any{"k": 0, "top": ranked, "guarantee": res.Guarantee}, nil
+			}, nil
+		}
 		return fmt.Sprintf("k=%d&samples=%d&top=%d", k, samples, top), func(ctx context.Context) (any, error) {
 			// Centrality treats the graph as undirected; resolving the
 			// entry's memoized view here keeps concurrent requests on a
@@ -162,6 +201,14 @@ func intParam(q url.Values, name string, def int) (int, error) {
 		return def, nil
 	}
 	return strconv.Atoi(v)
+}
+
+func floatParam(q url.Values, name string, def float64) (float64, error) {
+	v := q.Get(name)
+	if v == "" {
+		return def, nil
+	}
+	return strconv.ParseFloat(v, 64)
 }
 
 func vertexParam(q url.Values, name string, n int) (int32, error) {

@@ -237,6 +237,13 @@ func TestBadRequests(t *testing.T) {
 		{"/graphs/g/nosuchkernel", http.StatusNotFound},
 		{"/graphs/g/kcentrality?k=99", http.StatusBadRequest},
 		{"/graphs/g/kcentrality?samples=abc", http.StatusBadRequest},
+		{"/graphs/g/kcentrality?epsilon=0", http.StatusBadRequest},
+		{"/graphs/g/kcentrality?epsilon=1.5", http.StatusBadRequest},
+		{"/graphs/g/kcentrality?epsilon=abc", http.StatusBadRequest},
+		{"/graphs/g/kcentrality?epsilon=0.05&delta=0", http.StatusBadRequest},
+		{"/graphs/g/kcentrality?delta=0.5", http.StatusBadRequest}, // delta without epsilon
+		{"/graphs/g/kcentrality?epsilon=0.05&k=1", http.StatusBadRequest},
+		{"/graphs/g/kcentrality?epsilon=0.05&samples=16", http.StatusBadRequest},
 		{"/graphs/g/bfs?src=100", http.StatusBadRequest},
 		{"/graphs/g/sssp?src=-1", http.StatusBadRequest},
 		{"/graphs/g/kcores?k=-2", http.StatusBadRequest},
@@ -324,6 +331,77 @@ func TestGraphLifecycle(t *testing.T) {
 	status, _, _ = get(t, ts.URL+"/graphs/two/components")
 	if status != http.StatusNotFound {
 		t.Fatalf("deleted graph still serves: %d", status)
+	}
+}
+
+// TestApproxCentralityEndpoint covers the adaptive (ε,δ) mode of the
+// centrality route: guarantee fields ride in the body, responses cache by
+// (epoch, ε, δ) with spelling-insensitive keys, and a reload invalidates.
+func TestApproxCentralityEndpoint(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{}, testGraph())
+
+	status, hdr, body := get(t, ts.URL+"/graphs/g/kcentrality?epsilon=0.05&delta=0.2&top=5")
+	if status != http.StatusOK || hdr.Get("X-Graphct-Source") != "computed" {
+		t.Fatalf("first call: %d %q body %s", status, hdr.Get("X-Graphct-Source"), body)
+	}
+	var m struct {
+		K   int `json:"k"`
+		Top []struct {
+			Vertex int32   `json:"vertex"`
+			Score  float64 `json:"score"`
+		} `json:"top"`
+		Guarantee struct {
+			Epsilon     float64 `json:"epsilon"`
+			Delta       float64 `json:"delta"`
+			SamplesUsed int     `json:"samples_used"`
+			Rounds      int     `json:"rounds"`
+			Stopped     bool    `json:"stopped"`
+		} `json:"guarantee"`
+	}
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("bad JSON %s: %v", body, err)
+	}
+	if m.Guarantee.Epsilon != 0.05 || m.Guarantee.Delta != 0.2 {
+		t.Fatalf("guarantee = %+v, want requested (0.05, 0.2)", m.Guarantee)
+	}
+	if m.Guarantee.SamplesUsed <= 0 || m.Guarantee.Rounds <= 0 {
+		t.Fatalf("guarantee missing sampling evidence: %+v", m.Guarantee)
+	}
+	if len(m.Top) != 5 {
+		t.Fatalf("top = %d entries, want 5 (body %s)", len(m.Top), body)
+	}
+
+	// Same (ε,δ) in a different spelling: the canonical key makes it a
+	// cache hit with a byte-identical body.
+	status, hdr, body2 := get(t, ts.URL+"/graphs/g/kcentrality?epsilon=5e-2&delta=0.2&top=5")
+	if status != http.StatusOK || hdr.Get("X-Graphct-Source") != "cache" {
+		t.Fatalf("respelled call: %d %q, want cache hit", status, hdr.Get("X-Graphct-Source"))
+	}
+	if !bytes.Equal(body, body2) {
+		t.Fatal("cached body diverges from computed body")
+	}
+
+	// Different ε is a different result: must compute, not serve the
+	// ε=0.05 entry.
+	status, hdr, _ = get(t, ts.URL+"/graphs/g/kcentrality?epsilon=0.04&delta=0.2&top=5")
+	if status != http.StatusOK || hdr.Get("X-Graphct-Source") != "computed" {
+		t.Fatalf("eps change: %d %q, want computed", status, hdr.Get("X-Graphct-Source"))
+	}
+	// Different δ likewise.
+	status, hdr, _ = get(t, ts.URL+"/graphs/g/kcentrality?epsilon=0.05&delta=0.1&top=5")
+	if status != http.StatusOK || hdr.Get("X-Graphct-Source") != "computed" {
+		t.Fatalf("delta change: %d %q, want computed", status, hdr.Get("X-Graphct-Source"))
+	}
+	if runs := s.metrics.KernelRuns("kcentrality"); runs != 3 {
+		t.Fatalf("kernel executions = %d, want 3 (one per distinct (eps,delta))", runs)
+	}
+
+	// Reload the graph: a new epoch must invalidate the adaptive entries
+	// like any other cached kernel result.
+	s.reg.Add("g", testGraph())
+	status, hdr, _ = get(t, ts.URL+"/graphs/g/kcentrality?epsilon=0.05&delta=0.2&top=5")
+	if status != http.StatusOK || hdr.Get("X-Graphct-Source") != "computed" {
+		t.Fatalf("post-reload: %d %q, want computed", status, hdr.Get("X-Graphct-Source"))
 	}
 }
 

@@ -18,10 +18,28 @@
 #    refreshes BENCH_LOAD.json, then schema-checks it so a harness
 #    regression fails the run instead of committing a malformed report.
 #
+# 3. Approximate-BC ablation: one measured full exact run against the
+#    adaptive (eps,delta)-guaranteed estimator at the committed
+#    configuration (R-MAT scale 18, eps=0.01, delta=0.1), refreshing
+#    BENCH_PR10.json and schema-checking it. The exact row is a single
+#    full Brandes sweep — the better part of an hour at scale 18 on one
+#    core — so part 3 runs last; drop the scale for a quick check:
+#
+#      scripts/bench.sh -approx-scale 12   # minutes instead of an hour
+#
 # Explicit flags repeat each tool's defaults so the pinned configurations
 # are visible here and stay fixed even if the tools' defaults move.
 set -eu
 cd "$(dirname "$0")/.."
+
+# -approx-scale N is this script's own flag (everything else passes
+# through to part 1's cmd/bench invocation).
+approx_scale=18
+if [ "${1-}" = "-approx-scale" ]; then
+	approx_scale="$2"
+	shift 2
+fi
+
 go run ./cmd/bench \
 	-scale 16 -samples 32 -seed 1 -procs 4 -k 1 -reps 3 \
 	-reorder degree -out BENCH_PR7.json "$@"
@@ -33,3 +51,8 @@ go run ./cmd/loadgen \
 	-bc-qps 4 -bc-k 1 -bc-samples 128 -ingest-qps 8 -ingest-batch 256 \
 	-out BENCH_LOAD.json
 go run ./cmd/loadgen -check BENCH_LOAD.json
+
+go run ./cmd/bench \
+	-approx -scale "$approx_scale" -eps 0.01 -delta 0.1 -seed 1 \
+	-procs 4 -reps 3 -reorder degree -out BENCH_PR10.json
+go run ./cmd/bench -check BENCH_PR10.json
